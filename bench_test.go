@@ -1,0 +1,257 @@
+package dmetabench
+
+// One benchmark per table/figure of the thesis evaluation (see DESIGN.md
+// for the experiment index) plus micro-benchmarks of the substrates.
+// Each experiment benchmark performs a full simulated run per iteration;
+// the headline result is attached via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the complete evaluation.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dmetabench/internal/cluster"
+	"dmetabench/internal/core"
+	"dmetabench/internal/experiments"
+	"dmetabench/internal/namespace"
+	"dmetabench/internal/nfs"
+	"dmetabench/internal/realrun"
+	"dmetabench/internal/sim"
+)
+
+// runExperiment executes one experiment per iteration and reports the
+// named rows as benchmark metrics.
+func runExperiment(b *testing.B, run func() *experiments.Report, metrics ...string) {
+	b.Helper()
+	var rep *experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep = run()
+	}
+	if rep == nil {
+		b.Fatal("experiment returned nil")
+	}
+	want := make(map[string]bool, len(metrics))
+	for _, m := range metrics {
+		want[m] = true
+	}
+	for _, row := range rep.Rows {
+		if want[row.Name] {
+			unit := row.Unit
+			if unit == "" {
+				unit = "val"
+			}
+			b.ReportMetric(row.Value, sanitize(row.Name)+"_"+sanitize(unit))
+		}
+	}
+	if len(rep.Findings) == 0 {
+		b.Fatalf("%s produced no findings (run failed?)", rep.ID)
+	}
+	b.Logf("%s: %s", rep.ID, rep.Findings[0])
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		case r == ' ', r == '/', r == '-':
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+func BenchmarkE01SyscallCounts(b *testing.B) {
+	runExperiment(b, experiments.E01SyscallCounts, "ops amplification")
+}
+
+func BenchmarkE02HarnessOverhead(b *testing.B) {
+	runExperiment(b, experiments.E02HarnessOverhead, "overhead per op")
+}
+
+func BenchmarkE03CPUHogCOV(b *testing.B) {
+	runExperiment(b, experiments.E03CPUHogCOV,
+		"throughput before hog", "throughput during hog", "max COV during hog")
+}
+
+func BenchmarkE04SnapshotNoise(b *testing.B) {
+	runExperiment(b, experiments.E04SnapshotNoise, "max COV during snapshots")
+}
+
+func BenchmarkE05ConsistencyPoints(b *testing.B) {
+	runExperiment(b, experiments.E05ConsistencyPoints,
+		"peak interval throughput", "trough interval throughput")
+}
+
+func BenchmarkE06WriteInterference(b *testing.B) {
+	runExperiment(b, experiments.E06WriteInterference,
+		"throughput before write", "throughput during write")
+}
+
+func BenchmarkE07CreateScaling(b *testing.B) {
+	runExperiment(b, experiments.E07CreateScaling,
+		"NFS creates/s @ 16 nodes x1", "Lustre creates/s @ 16 nodes x1")
+}
+
+func BenchmarkE08LargeDirectories(b *testing.B) {
+	runExperiment(b, experiments.E08LargeDirectories,
+		"NFS (linear dirs) @ 100000 entries", "NFS/WAFL (hash dirs) @ 100000 entries")
+}
+
+func BenchmarkE09AllocationBursts(b *testing.B) {
+	runExperiment(b, experiments.E09AllocationBursts,
+		"OSS pre-allocation refills", "dip depth")
+}
+
+func BenchmarkE10PriorityScheduling(b *testing.B) {
+	runExperiment(b, experiments.E10PriorityScheduling,
+		"nice 0 ops/s during load", "nice 10 ops/s during load")
+}
+
+func BenchmarkE11SMPScaling(b *testing.B) {
+	runExperiment(b, experiments.E11SMPScaling,
+		"NFS creates/s @ ppn 32", "CXFS creates/s @ ppn 32")
+}
+
+func BenchmarkE12LatencySweep(b *testing.B) {
+	runExperiment(b, experiments.E12LatencySweep,
+		"RTT 10.0ms: NFS creates", "RTT 10.0ms: write-back creates")
+}
+
+func BenchmarkE13NamespaceAggregation(b *testing.B) {
+	runExperiment(b, experiments.E13NamespaceAggregation,
+		"remote efficiency", "per-node volumes @ 8 nodes x4", "single volume @ 8 nodes x4")
+}
+
+func BenchmarkE14AFS(b *testing.B) {
+	runExperiment(b, experiments.E14AFS,
+		"AFS StatNocacheFiles", "NFS StatNocacheFiles")
+}
+
+func BenchmarkE15WritebackCaching(b *testing.B) {
+	runExperiment(b, experiments.E15WritebackCaching,
+		"burst rate (first 200ms)", "sustained rate (4..8s)")
+}
+
+func BenchmarkA01AveragingMethods(b *testing.B) {
+	runExperiment(b, experiments.A01AveragingMethods,
+		"wall-clock average", "stonewall average")
+}
+
+func BenchmarkA02WritebackWindow(b *testing.B) {
+	runExperiment(b, experiments.A02WritebackWindow,
+		"window  4096: burst", "window  4096: sustained")
+}
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkSimulatedCreate measures the real-time cost of one simulated
+// NFS create — the simulator's own efficiency (DESIGN.md ablation).
+func BenchmarkSimulatedCreate(b *testing.B) {
+	k := sim.New(1)
+	cl := cluster.New(k, cluster.DefaultConfig(1))
+	fsys := nfs.New(k, "bench", nfs.DefaultConfig())
+	k.Spawn("creator", func(p *sim.Proc) {
+		c := fsys.NewClient(cl.Nodes[0], p)
+		c.Mkdir("/d")
+		for i := 0; i < b.N; i++ {
+			if i%5000 == 0 {
+				c.Mkdir(fmt.Sprintf("/d/s%d", i/5000))
+			}
+			c.Create(fmt.Sprintf("/d/s%d/%d", i/5000, i))
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkNamespaceCreate measures the raw data-structure cost.
+func BenchmarkNamespaceCreate(b *testing.B) {
+	ns := namespace.New()
+	ns.Mkdir("/d", 0o755, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%10000 == 0 {
+			ns.Mkdir(fmt.Sprintf("/d/s%d", i/10000), 0o755, 0)
+		}
+		ns.Create(fmt.Sprintf("/d/s%d/%d", i/10000, i), 0o644, 0)
+	}
+}
+
+// BenchmarkOSClientCreate measures real create+unlink pairs on the host
+// file system through the benchmark API.
+func BenchmarkOSClientCreate(b *testing.B) {
+	c := realrun.NewOSClient(b.TempDir())
+	c.Mkdir("/d")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := fmt.Sprintf("/d/%d", i)
+		if err := c.Create(name); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Unlink(name); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunnerMeasurement measures a complete framework measurement
+// cycle (prepare/doBench/cleanup with supervisor) end to end.
+func BenchmarkRunnerMeasurement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k := sim.New(int64(i))
+		cl := cluster.New(k, cluster.DefaultConfig(2))
+		fsys := nfs.New(k, "home", nfs.DefaultConfig())
+		r := &core.Runner{
+			Cluster:      cl,
+			FS:           fsys,
+			Params:       core.Params{ProblemSize: 500, WorkDir: "/bench"},
+			SlotsPerNode: 1,
+			Plugins:      []core.Plugin{core.MakeFiles{}},
+			Filter:       func(c core.Combo) bool { return c.Nodes == 2 },
+		}
+		if _, err := r.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationInterval quantifies the DESIGN.md ablation: result
+// fidelity and cost of the 0.1 s interval grid vs. a coarser 1 s grid.
+func BenchmarkAblationInterval(b *testing.B) {
+	for _, interval := range []time.Duration{100 * time.Millisecond, time.Second} {
+		interval := interval
+		b.Run(interval.String(), func(b *testing.B) {
+			var stone float64
+			for i := 0; i < b.N; i++ {
+				k := sim.New(3)
+				cl := cluster.New(k, cluster.DefaultConfig(4))
+				fsys := nfs.New(k, "home", nfs.DefaultConfig())
+				r := &core.Runner{
+					Cluster: cl,
+					FS:      fsys,
+					Params: core.Params{
+						ProblemSize: 5000, TimeLimit: 10 * time.Second,
+						WorkDir: "/bench", Interval: interval,
+					},
+					SlotsPerNode: 1,
+					Plugins:      []core.Plugin{core.MakeFiles{}},
+					Filter:       func(c core.Combo) bool { return c.Nodes == 4 },
+				}
+				set, err := r.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				stone = set.Measurements[0].Averages().Stonewall
+			}
+			b.ReportMetric(stone, "stonewall_ops_per_s")
+		})
+	}
+}

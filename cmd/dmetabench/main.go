@@ -1,0 +1,233 @@
+// Command dmetabench runs distributed metadata benchmarks.
+//
+// Three modes are supported:
+//
+//	-mode sim     benchmark a simulated distributed file system on a
+//	              simulated cluster (deterministic, laptop-scale);
+//	-mode real    benchmark the host file system with N worker threads;
+//	-mode master  coordinate dmetaworker daemons over TCP for a real
+//	              multi-node run.
+//
+// Example (simulated NFS filer, 8 nodes, up to 4 processes per node):
+//
+//	dmetabench -mode sim -fs nfs -nodes 8 -ppn 4 \
+//	    -ops MakeFiles,StatFiles -problemsize 2000 -out /tmp/run1
+//
+// Example (real, like the thesis invocation of Listing 3.2):
+//
+//	dmetabench -mode real -root /mnt/nfs/testdirectory -workers 8 \
+//	    -ops MakeFiles,StatFiles -problemsize 10000 -label first-nfs-benchmark
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dmetabench/internal/afs"
+	"dmetabench/internal/charts"
+	"dmetabench/internal/cluster"
+	"dmetabench/internal/core"
+	"dmetabench/internal/cxfs"
+	"dmetabench/internal/localfs"
+	"dmetabench/internal/lustre"
+	"dmetabench/internal/nfs"
+	"dmetabench/internal/ontapgx"
+	"dmetabench/internal/pvfs"
+	"dmetabench/internal/realrun"
+	"dmetabench/internal/results"
+	"dmetabench/internal/sim"
+)
+
+func main() {
+	var (
+		mode        = flag.String("mode", "sim", "sim | real | master")
+		fsKind      = flag.String("fs", "nfs", "simulated fs: nfs | lustre | lustre-wb | cxfs | afs | gx | pvfs | local")
+		nodes       = flag.Int("nodes", 4, "sim: number of client nodes")
+		ppn         = flag.Int("ppn", 2, "sim: worker slots per node")
+		cores       = flag.Int("cores", 8, "sim: CPU cores per node")
+		latency     = flag.Duration("latency", 250*time.Microsecond, "sim: one-way network latency")
+		seed        = flag.Int64("seed", 1, "sim: random seed")
+		ops         = flag.String("ops", "MakeFiles", "comma-separated operation list")
+		problem     = flag.Int("problemsize", 5000, "operations per process (or per-directory limit)")
+		timeLimit   = flag.Duration("timelimit", 0, "timed benchmark window (0 = fixed problem size)")
+		workdir     = flag.String("workdir", "/bench", "target directory inside the file system")
+		pathList    = flag.String("pathlist", "", "comma-separated per-process working directories")
+		label       = flag.String("label", "dmetabench", "result set label")
+		interval    = flag.Duration("interval", 100*time.Millisecond, "progress sampling interval")
+		nodeStep    = flag.Int("nodestep", 1, "node count step in the execution plan")
+		ppnStep     = flag.Int("ppnstep", 1, "processes-per-node step in the execution plan")
+		out         = flag.String("out", "", "result output directory (empty = print only)")
+		showCharts  = flag.Bool("charts", true, "print ASCII charts")
+		root        = flag.String("root", "", "real/master: host directory to benchmark")
+		workers     = flag.Int("workers", 4, "real: concurrent worker threads")
+		workerAddrs = flag.String("workeraddrs", "", "master: comma-separated dmetaworker addresses")
+	)
+	flag.Parse()
+
+	params := core.Params{
+		ProblemSize: *problem,
+		TimeLimit:   *timeLimit,
+		WorkDir:     *workdir,
+		Interval:    *interval,
+		NodeStep:    *nodeStep,
+		PPNStep:     *ppnStep,
+		Label:       *label,
+	}
+	if *pathList != "" {
+		params.PathList = strings.Split(*pathList, ",")
+	}
+	var plugins []core.Plugin
+	for _, name := range strings.Split(*ops, ",") {
+		p, err := core.PluginByName(strings.TrimSpace(name))
+		if err != nil {
+			fatal(err)
+		}
+		plugins = append(plugins, p)
+	}
+
+	var set *results.Set
+	var err error
+	switch *mode {
+	case "sim":
+		set, err = runSim(*fsKind, *nodes, *ppn, *cores, *latency, *seed, params, plugins)
+	case "real":
+		if *root == "" {
+			fatal(fmt.Errorf("-mode real requires -root"))
+		}
+		r := &realrun.Runner{Root: *root, Workers: *workers, Params: params, Plugins: plugins}
+		set, err = r.Run()
+	case "master":
+		if *root == "" || *workerAddrs == "" {
+			fatal(fmt.Errorf("-mode master requires -root and -workeraddrs"))
+		}
+		m := &realrun.Master{
+			Root:    *root,
+			Addrs:   strings.Split(*workerAddrs, ","),
+			Params:  params,
+			Plugins: plugins,
+		}
+		set, err = m.Run()
+	default:
+		err = fmt.Errorf("unknown mode %q", *mode)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	printSet(set, *showCharts)
+	if *out != "" {
+		if err := set.Save(*out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("results written to %s\n", *out)
+	}
+}
+
+func runSim(fsKind string, nodes, ppn, cores int, latency time.Duration, seed int64,
+	params core.Params, plugins []core.Plugin) (*results.Set, error) {
+
+	k := sim.New(seed)
+	cfg := cluster.DefaultConfig(nodes)
+	cfg.Cores = cores
+	cl := cluster.New(k, cfg)
+
+	var fsys core.FileSystem
+	switch fsKind {
+	case "nfs":
+		c := nfs.DefaultConfig()
+		c.OneWayLatency = latency
+		fsys = nfs.New(k, "home", c)
+	case "lustre":
+		c := lustre.DefaultConfig()
+		c.OneWayLatency = latency
+		fsys = lustre.New(k, "scratch", c)
+	case "lustre-wb":
+		c := lustre.DefaultConfig()
+		c.OneWayLatency = latency
+		c.Writeback = true
+		fsys = lustre.New(k, "scratch", c)
+	case "cxfs":
+		c := cxfs.DefaultConfig()
+		fsys = cxfs.New(k, "san", c)
+	case "afs":
+		c := afs.DefaultConfig()
+		c.OneWayLatency = latency
+		cell := afs.New(k, "cell", 2, c)
+		for i := 0; i < nodes; i++ {
+			cell.AddVolume(fmt.Sprintf("vol%d", i), -1)
+		}
+		if len(params.PathList) == 0 {
+			params.WorkDir = "/vol0"
+		}
+		fsys = cell
+	case "gx":
+		c := ontapgx.DefaultConfig()
+		c.OneWayLatency = latency
+		gx := ontapgx.New(k, "gx", min(nodes, 8), c)
+		for i := 0; i < min(nodes, 8); i++ {
+			gx.AddVolume(fmt.Sprintf("vol%d", i), i)
+		}
+		if len(params.PathList) == 0 {
+			params.WorkDir = "/vol0"
+		}
+		fsys = gx
+	case "pvfs":
+		c := pvfs.DefaultConfig()
+		c.OneWayLatency = latency
+		fsys = pvfs.New(k, "scratch", c)
+	case "local":
+		fsys = localfs.New(k, cl.Nodes[0], localfs.DefaultConfig())
+	default:
+		return nil, fmt.Errorf("unknown -fs %q", fsKind)
+	}
+
+	r := &core.Runner{
+		Cluster:      cl,
+		FS:           fsys,
+		Params:       params,
+		SlotsPerNode: ppn,
+		Plugins:      plugins,
+		ProfileLoad:  time.Second,
+	}
+	return r.Run()
+}
+
+func printSet(set *results.Set, withCharts bool) {
+	fmt.Printf("# %s on %s (interval %s)\n", set.Label, set.FS, set.Interval)
+	fmt.Println("Operation\tNodes\tPPN\tProcs\tStonewall ops/s\tWallclock ops/s\tErrors")
+	for _, m := range set.Measurements {
+		a := m.Averages()
+		nerr := 0
+		for _, e := range m.Errors {
+			if e != "" {
+				nerr++
+			}
+		}
+		fmt.Printf("%s\t%d\t%d\t%d\t%.1f\t%.1f\t%d\n",
+			m.Op, m.Nodes, m.PPN, m.Procs(), a.Stonewall, a.WallClock, nerr)
+	}
+	if !withCharts {
+		return
+	}
+	for _, op := range set.Ops() {
+		pts := set.ScaleSeries(op)
+		if len(pts) > 1 {
+			fmt.Println(charts.VsProcesses([]charts.LabeledSeries{{Label: op, Points: pts}}, 68, 10))
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dmetabench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,91 @@
+// Command dmetaplot renders charts from result directories written by
+// dmetabench, replacing the compare.py / compare-process.py /
+// compare-node.py scripts of §3.4.2.
+//
+//	dmetaplot -type time -dir /tmp/run1 -op MakeFiles -nodes 4 -procs 4
+//	dmetaplot -type procs dir1:MakeFiles:NFS dir2:MakeFiles:Lustre
+//	dmetaplot -type nodes -ppn 1 dir1:MakeFiles:NFS dir2:MakeFiles:Lustre
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dmetabench/internal/charts"
+	"dmetabench/internal/results"
+)
+
+func main() {
+	var (
+		chartType = flag.String("type", "time", "time | procs | nodes")
+		dir       = flag.String("dir", "", "result directory (time chart)")
+		op        = flag.String("op", "MakeFiles", "operation (time chart)")
+		nodes     = flag.Int("nodes", 1, "node count (time chart)")
+		ppn       = flag.Int("ppn", 1, "processes per node")
+		svgOut    = flag.String("svg", "", "write SVG to this file instead of ASCII to stdout")
+		width     = flag.Int("width", 72, "chart width")
+		height    = flag.Int("height", 10, "chart height (per panel)")
+	)
+	flag.Parse()
+
+	switch *chartType {
+	case "time":
+		if *dir == "" {
+			fatal(fmt.Errorf("-type time requires -dir"))
+		}
+		set, err := results.Load(*dir)
+		if err != nil {
+			fatal(err)
+		}
+		m := set.Find(*op, *nodes, *ppn)
+		if m == nil {
+			fatal(fmt.Errorf("no measurement %s %d nodes x %d ppn in %s", *op, *nodes, *ppn, *dir))
+		}
+		if *svgOut != "" {
+			write(*svgOut, charts.TimeChartSVG(m, 700, 260))
+			return
+		}
+		fmt.Print(charts.TimeChart(m, *width, *height))
+	case "procs", "nodes":
+		var inputs []charts.LabeledSeries
+		for _, arg := range flag.Args() {
+			parts := strings.SplitN(arg, ":", 3)
+			if len(parts) < 2 {
+				fatal(fmt.Errorf("argument %q: want dir:op[:label]", arg))
+			}
+			set, err := results.Load(parts[0])
+			if err != nil {
+				fatal(err)
+			}
+			label := parts[0] + ":" + parts[1]
+			if len(parts) == 3 {
+				label = parts[2]
+			}
+			inputs = append(inputs, charts.LabeledSeries{Label: label, Points: set.ScaleSeries(parts[1])})
+		}
+		if len(inputs) == 0 {
+			fatal(fmt.Errorf("no inputs; pass dir:op[:label] arguments"))
+		}
+		if *chartType == "procs" {
+			fmt.Print(charts.VsProcesses(inputs, *width, *height))
+		} else {
+			fmt.Print(charts.VsNodes(inputs, *ppn, *width, *height))
+		}
+	default:
+		fatal(fmt.Errorf("unknown -type %q", *chartType))
+	}
+}
+
+func write(path, content string) {
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Println("wrote", path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dmetaplot:", err)
+	os.Exit(1)
+}

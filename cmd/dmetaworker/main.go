@@ -1,0 +1,35 @@
+// Command dmetaworker is the per-node worker daemon for distributed real
+// benchmark runs: it executes benchmark phases on the local file system
+// under the control of a dmetabench master (-mode master).
+//
+//	dmetaworker -listen :7946
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"dmetabench/internal/realrun"
+)
+
+func main() {
+	listen := flag.String("listen", ":7946", "TCP listen address")
+	flag.Parse()
+
+	host, err := os.Hostname()
+	if err != nil {
+		host = "worker"
+	}
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmetaworker:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("dmetaworker %s listening on %s\n", host, l.Addr())
+	if err := realrun.Serve(l, host); err != nil {
+		fmt.Fprintln(os.Stderr, "dmetaworker:", err)
+		os.Exit(1)
+	}
+}

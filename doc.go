@@ -1,0 +1,14 @@
+// Package dmetabench is a reproduction of "Analyzing Metadata Performance
+// in Distributed File Systems" (C. Biardzki, 2009): the DMetabench
+// distributed metadata benchmark framework, deterministic simulations of
+// the distributed file systems it was evaluated on (NFS/WAFL, Lustre,
+// Ontap GX, AFS, CXFS), and the full Chapter-4 experiment suite.
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the paper-vs-measured record. The root package holds
+// only the benchmark harness (bench_test.go) that regenerates every
+// table and figure as a testing.B benchmark.
+package dmetabench
+
+// Version identifies the reproduction release.
+const Version = "1.0.0"

@@ -1,0 +1,68 @@
+// nfs_vs_lustre reproduces the headline comparison of §4.3 interactively:
+// file creation throughput of an NFS filer against a Lustre metadata
+// server over a growing number of client nodes, plus the large-directory
+// behaviour of both.
+//
+//	go run ./examples/nfs_vs_lustre
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dmetabench/internal/charts"
+	"dmetabench/internal/cluster"
+	"dmetabench/internal/core"
+	"dmetabench/internal/lustre"
+	"dmetabench/internal/nfs"
+	"dmetabench/internal/results"
+	"dmetabench/internal/sim"
+)
+
+func runOn(name string, mk func(k *sim.Kernel) core.FileSystem) *results.Set {
+	k := sim.New(7)
+	cl := cluster.New(k, cluster.DefaultConfig(12))
+	r := &core.Runner{
+		Cluster:      cl,
+		FS:           mk(k),
+		Params:       core.Params{ProblemSize: 1500, WorkDir: "/bench", Label: name},
+		SlotsPerNode: 1,
+		Plugins:      []core.Plugin{core.MakeFiles{}, core.DeleteFiles{}},
+		Filter: func(c core.Combo) bool {
+			return c.Nodes == 1 || c.Nodes == 2 || c.Nodes == 4 || c.Nodes == 8 || c.Nodes == 12
+		},
+	}
+	set, err := r.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return set
+}
+
+func main() {
+	nfsSet := runOn("nfs", func(k *sim.Kernel) core.FileSystem {
+		return nfs.New(k, "home", nfs.DefaultConfig())
+	})
+	lusSet := runOn("lustre", func(k *sim.Kernel) core.FileSystem {
+		return lustre.New(k, "scratch", lustre.DefaultConfig())
+	})
+
+	fmt.Println("file creation, 1 process per node:")
+	fmt.Println("nodes      NFS ops/s   Lustre ops/s")
+	for _, n := range []int{1, 2, 4, 8, 12} {
+		a := nfsSet.Find("MakeFiles", n, 1).Averages()
+		b := lusSet.Find("MakeFiles", n, 1).Averages()
+		fmt.Printf("%5d %12.0f %14.0f\n", n, a.Stonewall, b.Stonewall)
+	}
+	fmt.Println()
+	fmt.Println(charts.VsNodes([]charts.LabeledSeries{
+		{Label: "MakeFiles on NFS filer", Points: nfsSet.ScaleSeries("MakeFiles")},
+		{Label: "MakeFiles on Lustre MDS", Points: lusSet.ScaleSeries("MakeFiles")},
+	}, 1, 68, 12))
+	fmt.Println(charts.VsNodes([]charts.LabeledSeries{
+		{Label: "DeleteFiles on NFS filer", Points: nfsSet.ScaleSeries("DeleteFiles")},
+		{Label: "DeleteFiles on Lustre MDS", Points: lusSet.ScaleSeries("DeleteFiles")},
+	}, 1, 68, 12))
+	fmt.Println("Note how both servers saturate and how the filer keeps a constant")
+	fmt.Println("factor over the MDS for small-file creation — the §4.3 result.")
+}

@@ -1,0 +1,59 @@
+// Quickstart: run DMetabench's MakeFiles and StatFiles operations against
+// a simulated NFS filer from a 4-node cluster, then print the summary
+// numbers, the scaling chart and the combined time chart for the largest
+// configuration.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dmetabench/internal/charts"
+	"dmetabench/internal/cluster"
+	"dmetabench/internal/core"
+	"dmetabench/internal/nfs"
+	"dmetabench/internal/sim"
+)
+
+func main() {
+	// 1. A simulation kernel drives everything deterministically.
+	k := sim.New(1)
+
+	// 2. Four 8-core client nodes and one NFS filer.
+	cl := cluster.New(k, cluster.DefaultConfig(4))
+	filer := nfs.New(k, "home", nfs.DefaultConfig())
+
+	// 3. Configure the benchmark: every process performs 2000 operations
+	//    in its own working directory under /bench.
+	r := &core.Runner{
+		Cluster:      cl,
+		FS:           filer,
+		Params:       core.Params{ProblemSize: 2000, WorkDir: "/bench", Label: "quickstart"},
+		SlotsPerNode: 2, // sweeps 1..4 nodes x 1..2 processes per node
+		Plugins:      []core.Plugin{core.MakeFiles{}, core.StatFiles{}},
+	}
+
+	// 4. Run. The result set holds one measurement per (op, nodes, ppn).
+	set, err := r.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("operation            nodes ppn procs  stonewall ops/s")
+	for _, m := range set.Measurements {
+		a := m.Averages()
+		fmt.Printf("%-20s %5d %3d %5d  %15.0f\n", m.Op, m.Nodes, m.PPN, m.Procs(), a.Stonewall)
+	}
+
+	// 5. Charts: throughput scaling and the interval-resolved time chart.
+	fmt.Println()
+	fmt.Println(charts.VsProcesses([]charts.LabeledSeries{
+		{Label: "MakeFiles on simulated NFS", Points: set.ScaleSeries("MakeFiles")},
+		{Label: "StatFiles on simulated NFS", Points: set.ScaleSeries("StatFiles")},
+	}, 68, 10))
+	if m := set.Find("MakeFiles", 4, 2); m != nil {
+		fmt.Println(charts.TimeChart(m, 68, 8))
+	}
+}

@@ -1,0 +1,162 @@
+package afs
+
+import (
+	"testing"
+
+	"dmetabench/internal/cluster"
+	"dmetabench/internal/fs"
+	"dmetabench/internal/sim"
+)
+
+func env(t *testing.T) (*sim.Kernel, *cluster.Cluster, *FS) {
+	t.Helper()
+	k := sim.New(1)
+	cl := cluster.New(k, cluster.DefaultConfig(2))
+	cell := New(k, "cell", 2, DefaultConfig())
+	cell.AddVolume("home", -1)
+	cell.AddVolume("proj", -1)
+	return k, cl, cell
+}
+
+func run(t *testing.T, k *sim.Kernel, fn func(p *sim.Proc)) {
+	t.Helper()
+	k.Spawn("test", fn)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVolumeResolution(t *testing.T) {
+	k, cl, cell := env(t)
+	run(t, k, func(p *sim.Proc) {
+		c := cell.NewClient(cl.Nodes[0], p)
+		if err := c.Create("/home/f"); err != nil {
+			t.Errorf("create: %v", err)
+		}
+		if err := c.Create("/nosuchvol/f"); fs.CodeOf(err) != fs.ENOENT {
+			t.Errorf("create in unknown volume: %v", err)
+		}
+		if _, err := c.Stat("/home/f"); err != nil {
+			t.Errorf("stat: %v", err)
+		}
+		if err := c.Mkdir("/proj/sub"); err != nil {
+			t.Errorf("mkdir: %v", err)
+		}
+	})
+	if cell.NumVolumes() != 2 {
+		t.Fatalf("volumes = %d", cell.NumVolumes())
+	}
+}
+
+func TestCrossVolumeRenameEXDEV(t *testing.T) {
+	k, cl, cell := env(t)
+	run(t, k, func(p *sim.Proc) {
+		c := cell.NewClient(cl.Nodes[0], p)
+		c.Create("/home/f")
+		if err := c.Rename("/home/f", "/proj/f"); fs.CodeOf(err) != fs.EXDEV {
+			t.Errorf("cross-volume rename: %v, want EXDEV", err)
+		}
+		if err := c.Rename("/home/f", "/home/g"); err != nil {
+			t.Errorf("same-volume rename: %v", err)
+		}
+		if err := c.Link("/home/g", "/proj/l"); fs.CodeOf(err) != fs.EXDEV {
+			t.Errorf("cross-volume link: %v, want EXDEV", err)
+		}
+	})
+}
+
+func TestPersistentCacheSurvivesDrop(t *testing.T) {
+	k, cl, cell := env(t)
+	run(t, k, func(p *sim.Proc) {
+		c := cell.NewClient(cl.Nodes[0], p)
+		c.Create("/home/f")
+		before := cell.RPCCount()
+		for i := 0; i < 5; i++ {
+			if _, err := c.Stat("/home/f"); err != nil {
+				t.Fatalf("stat: %v", err)
+			}
+		}
+		if cell.RPCCount() != before {
+			t.Errorf("cached stats issued RPCs")
+		}
+		// drop_caches does not touch the persistent AFS cache.
+		c.DropCaches()
+		if _, err := c.Stat("/home/f"); err != nil {
+			t.Fatalf("stat: %v", err)
+		}
+		if cell.RPCCount() != before {
+			t.Errorf("stat after drop_caches issued an RPC — AFS cache should persist")
+		}
+	})
+}
+
+func TestCallbackBreakOnRemoteModification(t *testing.T) {
+	k, cl, cell := env(t)
+	run(t, k, func(p *sim.Proc) {
+		a := cell.NewClient(cl.Nodes[0], p)
+		b := cell.NewClient(cl.Nodes[1], p)
+		a.Create("/home/f")
+		// Node B caches the attributes.
+		if _, err := b.Stat("/home/f"); err != nil {
+			t.Fatalf("stat: %v", err)
+		}
+		// Node A writes: open-to-close semantics store on close and
+		// break B's callback.
+		h, err := a.Open("/home/f")
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		a.Write(h, 1000)
+		if err := a.Close(h); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		attr, err := b.Stat("/home/f")
+		if err != nil {
+			t.Fatalf("stat after write: %v", err)
+		}
+		if attr.Size != 1000 {
+			t.Errorf("node B sees stale size %d after callback break", attr.Size)
+		}
+	})
+}
+
+func TestCacheStats(t *testing.T) {
+	k, cl, cell := env(t)
+	run(t, k, func(p *sim.Proc) {
+		c := cell.NewClient(cl.Nodes[0], p)
+		c.Create("/home/f")
+		for i := 0; i < 9; i++ {
+			c.Stat("/home/f")
+		}
+	})
+	hits, misses := cell.CacheStats()
+	if hits < 9 {
+		t.Errorf("hits = %d, want >= 9", hits)
+	}
+	if misses != 0 {
+		t.Errorf("misses = %d (create should prime the cache)", misses)
+	}
+}
+
+func TestReadDirAndCleanupOps(t *testing.T) {
+	k, cl, cell := env(t)
+	run(t, k, func(p *sim.Proc) {
+		c := cell.NewClient(cl.Nodes[0], p)
+		c.Mkdir("/home/d")
+		for i := 0; i < 5; i++ {
+			c.Create("/home/d/f" + string(rune('0'+i)))
+		}
+		ents, err := c.ReadDir("/home/d")
+		if err != nil || len(ents) != 5 {
+			t.Fatalf("readdir: %v, %d", err, len(ents))
+		}
+		for _, e := range ents {
+			if err := c.Unlink("/home/d/" + e.Name); err != nil {
+				t.Fatalf("unlink: %v", err)
+			}
+		}
+		if err := c.Rmdir("/home/d"); err != nil {
+			t.Fatalf("rmdir: %v", err)
+		}
+	})
+}

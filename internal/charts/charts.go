@@ -1,0 +1,184 @@
+// Package charts renders the three DMetabench chart types of §3.3.10 —
+// the combined time chart (operations completed / COV / throughput over
+// time), performance vs. number of processes, and performance vs. number
+// of nodes — as plain-text line charts for terminals and as standalone
+// SVG documents.
+package charts
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one plotted line.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+var markers = []rune{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the series into a width×height text grid with axes and a
+// legend. X and Y ranges are derived from the data; Y always includes 0.
+func Render(title, xLabel, yLabel string, width, height int, series []Series) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	maxY := math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		minX, maxX, maxY = 0, 1, 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY <= 0 {
+		maxY = 1
+	}
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = make([]rune, width)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	plot := func(x, y float64, marker rune) {
+		col := int(math.Round((x - minX) / (maxX - minX) * float64(width-1)))
+		row := height - 1 - int(math.Round(y/maxY*float64(height-1)))
+		if col < 0 || col >= width || row < 0 || row >= height {
+			return
+		}
+		grid[row][col] = marker
+	}
+	for si, s := range series {
+		marker := markers[si%len(markers)]
+		// Connect consecutive points with interpolated markers so the
+		// lines read as lines even on a coarse grid.
+		for i := 0; i < len(s.X); i++ {
+			plot(s.X[i], s.Y[i], marker)
+			if i > 0 {
+				steps := width / 2
+				for k := 1; k < steps; k++ {
+					f := float64(k) / float64(steps)
+					plot(s.X[i-1]+f*(s.X[i]-s.X[i-1]), s.Y[i-1]+f*(s.Y[i]-s.Y[i-1]), marker)
+				}
+			}
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	yTop := formatTick(maxY)
+	fmt.Fprintf(&b, "%10s ┤\n", yTop)
+	for i, row := range grid {
+		label := strings.Repeat(" ", 10)
+		if i == height/2 {
+			label = fmt.Sprintf("%10s", yLabel)
+		}
+		fmt.Fprintf(&b, "%s │%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%10s └%s\n", formatTick(0), strings.Repeat("─", width))
+	fmt.Fprintf(&b, "%11s%-*s%s\n", formatTick(minX), width-len(formatTick(maxX)), "", formatTick(maxX))
+	fmt.Fprintf(&b, "%11s[%s]\n", "", xLabel)
+	for si, s := range series {
+		fmt.Fprintf(&b, "%11s%c %s\n", "", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case av >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	case av == math.Trunc(av):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// SVG renders the series as a standalone SVG document.
+func SVG(title, xLabel, yLabel string, width, height int, series []Series) string {
+	const margin = 60
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	maxY := math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		minX, maxX, maxY = 0, 1, 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY <= 0 {
+		maxY = 1
+	}
+	colors := []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+	px := func(x float64) float64 {
+		return margin + (x-minX)/(maxX-minX)*float64(width-2*margin)
+	}
+	py := func(y float64) float64 {
+		return float64(height-margin) - y/maxY*float64(height-2*margin)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="20" font-size="14" text-anchor="middle">%s</text>`+"\n", width/2, escape(title))
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		margin, height-margin, width-margin, height-margin)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		margin, margin, margin, height-margin)
+	// Ticks.
+	for i := 0; i <= 4; i++ {
+		xv := minX + (maxX-minX)*float64(i)/4
+		yv := maxY * float64(i) / 4
+		fmt.Fprintf(&b, `<text x="%.0f" y="%d" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			px(xv), height-margin+15, formatTick(xv))
+		fmt.Fprintf(&b, `<text x="%d" y="%.0f" font-size="10" text-anchor="end">%s</text>`+"\n",
+			margin-5, py(yv)+3, formatTick(yv))
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" text-anchor="middle">%s</text>`+"\n",
+		width/2, height-10, escape(xLabel))
+	fmt.Fprintf(&b, `<text x="15" y="%d" font-size="11" text-anchor="middle" transform="rotate(-90 15 %d)">%s</text>`+"\n",
+		height/2, height/2, escape(yLabel))
+	for si, s := range series {
+		color := colors[si%len(colors)]
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(s.Y[i])))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+			strings.Join(pts, " "), color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" fill="%s">%s</text>`+"\n",
+			width-margin-150, margin+15*si, color, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

@@ -1,0 +1,114 @@
+package charts
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dmetabench/internal/results"
+)
+
+func sampleSeries() []Series {
+	return []Series{
+		{Name: "a", X: []float64{0, 1, 2, 3}, Y: []float64{0, 10, 20, 30}},
+		{Name: "b", X: []float64{0, 1, 2, 3}, Y: []float64{5, 5, 5, 5}},
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	out := Render("title", "xs", "ys", 40, 8, sampleSeries())
+	for _, want := range []string{"title", "[xs]", "* a", "o b", "└"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Axis extremes present.
+	if !strings.Contains(out, "30") {
+		t.Fatalf("missing y max:\n%s", out)
+	}
+}
+
+func TestRenderEmptyAndDegenerate(t *testing.T) {
+	if out := Render("t", "x", "y", 40, 8, nil); out == "" {
+		t.Fatal("empty series produced nothing")
+	}
+	one := []Series{{Name: "p", X: []float64{5}, Y: []float64{7}}}
+	if out := Render("t", "x", "y", 40, 8, one); !strings.Contains(out, "p") {
+		t.Fatal("single-point series dropped")
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	out := SVG("NFS & Lustre <test>", "x", "y", 600, 300, sampleSeries())
+	for _, want := range []string{"<svg", "</svg>", "<polyline", "NFS &amp; Lustre &lt;test&gt;"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q", want)
+		}
+	}
+	if strings.Count(out, "<polyline") != 2 {
+		t.Fatal("expected one polyline per series")
+	}
+}
+
+func measurement() *results.Measurement {
+	return &results.Measurement{
+		Op: "MakeFiles", Nodes: 2, PPN: 1, Interval: 100 * time.Millisecond,
+		Traces: []results.Trace{
+			{Host: "a", Op: "MakeFiles", Proc: 0, Done: []int64{100, 210, 300}, Final: 300, FinishedAt: 300 * time.Millisecond},
+			{Host: "b", Op: "MakeFiles", Proc: 1, Done: []int64{90, 200, 310}, Final: 310, FinishedAt: 300 * time.Millisecond},
+		},
+		Errors: []string{"", ""},
+	}
+}
+
+func TestTimeChart(t *testing.T) {
+	out := TimeChart(measurement(), 60, 8)
+	for _, want := range []string{"MakeFiles", "ops done", "COV", "ops/s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q", want)
+		}
+	}
+}
+
+func TestTimeChartSVG(t *testing.T) {
+	out := TimeChartSVG(measurement(), 600, 200)
+	if strings.Count(out, "<svg") != 3 {
+		t.Fatal("expected three stacked panels")
+	}
+}
+
+func TestVsProcessesAndNodes(t *testing.T) {
+	pts := []results.ScalePoint{
+		{Nodes: 1, PPN: 1, Procs: 1, Stonewall: 1000},
+		{Nodes: 2, PPN: 1, Procs: 2, Stonewall: 1900},
+		{Nodes: 4, PPN: 1, Procs: 4, Stonewall: 3500},
+	}
+	out := VsProcesses([]LabeledSeries{{Label: "nfs", Points: pts}}, 60, 8)
+	if !strings.Contains(out, "processes") || !strings.Contains(out, "nfs") {
+		t.Fatalf("bad chart:\n%s", out)
+	}
+	out = VsNodes([]LabeledSeries{{Label: "nfs", Points: pts}}, 1, 60, 8)
+	if !strings.Contains(out, "nodes") {
+		t.Fatalf("bad chart:\n%s", out)
+	}
+	// ppn filter drops everything for ppn=2.
+	out = VsNodes([]LabeledSeries{{Label: "nfs", Points: pts}}, 2, 60, 8)
+	if !strings.Contains(out, "nfs") {
+		t.Fatal("legend missing even when filtered")
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1500000: "1.5M",
+		2300:    "2.3k",
+		42:      "42",
+		3.14:    "3.14",
+	}
+	for v, want := range cases {
+		if got := formatTick(v); got != want {
+			t.Fatalf("formatTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package charts
+
+import (
+	"fmt"
+	"strings"
+
+	"dmetabench/internal/results"
+)
+
+// TimeChart renders the combined time chart of one measurement (Fig.
+// 3.11): cumulative operations, per-process COV and total throughput,
+// stacked.
+func TimeChart(m *results.Measurement, width, panelHeight int) string {
+	rows := m.Summary()
+	n := len(rows)
+	tx := make([]float64, n)
+	totals := make([]float64, n)
+	covs := make([]float64, n)
+	thr := make([]float64, n)
+	for i, r := range rows {
+		tx[i] = r.T.Seconds()
+		totals[i] = float64(r.TotalDone)
+		covs[i] = r.COV
+		thr[i] = r.Throughput
+	}
+	var b strings.Builder
+	title := fmt.Sprintf("%s  %d nodes / %d ppn (%d procs)", m.Op, m.Nodes, m.PPN, m.Procs())
+	b.WriteString(Render(title, "time s", "ops done", width, panelHeight,
+		[]Series{{Name: "operations completed", X: tx, Y: totals}}))
+	b.WriteString(Render("", "time s", "COV", width, panelHeight,
+		[]Series{{Name: "per-process ops/s coefficient of variation", X: tx, Y: covs}}))
+	b.WriteString(Render("", "time s", "ops/s", width, panelHeight,
+		[]Series{{Name: "total throughput", X: tx, Y: thr}}))
+	return b.String()
+}
+
+// TimeChartSVG is TimeChart as three stacked SVG groups in one document.
+func TimeChartSVG(m *results.Measurement, width, panelHeight int) string {
+	rows := m.Summary()
+	n := len(rows)
+	tx := make([]float64, n)
+	totals := make([]float64, n)
+	covs := make([]float64, n)
+	thr := make([]float64, n)
+	for i, r := range rows {
+		tx[i] = r.T.Seconds()
+		totals[i] = float64(r.TotalDone)
+		covs[i] = r.COV
+		thr[i] = r.Throughput
+	}
+	title := fmt.Sprintf("%s %d nodes / %d ppn", m.Op, m.Nodes, m.PPN)
+	var b strings.Builder
+	b.WriteString(SVG(title, "time [s]", "operations completed", width, panelHeight,
+		[]Series{{Name: "completed", X: tx, Y: totals}}))
+	b.WriteString(SVG("", "time [s]", "COV", width, panelHeight,
+		[]Series{{Name: "COV", X: tx, Y: covs}}))
+	b.WriteString(SVG("", "time [s]", "operations/s", width, panelHeight,
+		[]Series{{Name: "throughput", X: tx, Y: thr}}))
+	return b.String()
+}
+
+// LabeledSeries names one scaling comparison input (a result set and
+// operation, like compare-process.py arguments, §3.4.2).
+type LabeledSeries struct {
+	Label  string
+	Points []results.ScalePoint
+}
+
+// VsProcesses renders performance against the total process count (Fig.
+// 3.12), one line per labeled input.
+func VsProcesses(inputs []LabeledSeries, width, height int) string {
+	var series []Series
+	for _, in := range inputs {
+		var s Series
+		s.Name = in.Label
+		for _, pt := range in.Points {
+			s.X = append(s.X, float64(pt.Procs))
+			s.Y = append(s.Y, pt.Stonewall)
+		}
+		series = append(series, s)
+	}
+	return Render("Performance vs. number of processes", "processes", "ops/s", width, height, series)
+}
+
+// VsNodes renders performance against the node count at fixed
+// processes-per-node (Fig. 3.13).
+func VsNodes(inputs []LabeledSeries, ppn int, width, height int) string {
+	var series []Series
+	for _, in := range inputs {
+		var s Series
+		s.Name = in.Label
+		for _, pt := range in.Points {
+			if pt.PPN != ppn {
+				continue
+			}
+			s.X = append(s.X, float64(pt.Nodes))
+			s.Y = append(s.Y, pt.Stonewall)
+		}
+		series = append(series, s)
+	}
+	title := fmt.Sprintf("Performance vs. number of nodes (%d process(es) per node)", ppn)
+	return Render(title, "nodes", "ops/s", width, height, series)
+}

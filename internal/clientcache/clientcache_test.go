@@ -1,0 +1,88 @@
+package clientcache
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dmetabench/internal/fs"
+)
+
+// fakeClock is a settable clock for cache tests.
+type fakeClock struct{ t time.Duration }
+
+func (c *fakeClock) now() time.Duration { return c.t }
+
+func TestAttrCacheTTL(t *testing.T) {
+	clk := &fakeClock{}
+	c := NewAttrCache(3*time.Second, clk.now)
+	c.Put("/f", fs.Attr{Ino: 7})
+	if a, ok := c.Get("/f"); !ok || a.Ino != 7 {
+		t.Fatalf("fresh get: %v %v", a, ok)
+	}
+	clk.t = 2 * time.Second
+	if _, ok := c.Get("/f"); !ok {
+		t.Fatal("entry expired early")
+	}
+	clk.t = 4 * time.Second
+	if _, ok := c.Get("/f"); ok {
+		t.Fatal("entry survived past TTL")
+	}
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("stats = %d/%d", hits, misses)
+	}
+}
+
+func TestAttrCacheInvalidateClear(t *testing.T) {
+	clk := &fakeClock{}
+	c := NewAttrCache(time.Minute, clk.now)
+	c.Put("/a", fs.Attr{})
+	c.Put("/b", fs.Attr{})
+	c.Invalidate("/a")
+	if _, ok := c.Get("/a"); ok {
+		t.Fatal("invalidated entry returned")
+	}
+	if _, ok := c.Get("/b"); !ok {
+		t.Fatal("unrelated entry dropped")
+	}
+	c.Clear()
+	if c.Len() != 0 {
+		t.Fatalf("len after clear = %d", c.Len())
+	}
+}
+
+func TestDentryCachePositiveNegative(t *testing.T) {
+	clk := &fakeClock{}
+	d := NewDentryCache(30*time.Second, clk.now)
+	d.PutPositive("/f", 42)
+	ino, neg, ok := d.Lookup("/f")
+	if !ok || neg || ino != 42 {
+		t.Fatalf("positive lookup: %d %v %v", ino, neg, ok)
+	}
+	d.PutNegative("/g")
+	_, neg, ok = d.Lookup("/g")
+	if !ok || !neg {
+		t.Fatalf("negative lookup: %v %v", neg, ok)
+	}
+	clk.t = time.Minute
+	if _, _, ok := d.Lookup("/f"); ok {
+		t.Fatal("entry survived past TTL")
+	}
+}
+
+// Property: a Put followed by Get within TTL always returns the stored
+// attributes, for arbitrary paths and inode numbers.
+func TestAttrCacheRoundTrip(t *testing.T) {
+	f := func(path string, ino uint64, size int64) bool {
+		clk := &fakeClock{}
+		c := NewAttrCache(time.Second, clk.now)
+		want := fs.Attr{Ino: fs.Ino(ino), Size: size}
+		c.Put(path, want)
+		got, ok := c.Get(path)
+		return ok && got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

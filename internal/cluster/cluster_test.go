@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"dmetabench/internal/sim"
+)
+
+func TestExecConsumesCPU(t *testing.T) {
+	k := sim.New(1)
+	cl := New(k, Config{Nodes: 1, Cores: 2, SyscallTime: time.Microsecond})
+	n := cl.Nodes[0]
+	// 4 procs x 10ms on 2 cores = 20ms makespan.
+	for i := 0; i < 4; i++ {
+		k.Spawn("w", func(p *sim.Proc) { n.Exec(p, 10*time.Millisecond) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if k.Now() != 20*time.Millisecond {
+		t.Fatalf("makespan = %v, want 20ms", k.Now())
+	}
+}
+
+func TestCPUHogWindow(t *testing.T) {
+	k := sim.New(2)
+	cl := New(k, DefaultConfig(1))
+	n := cl.Nodes[0]
+	n.StartCPUHog(4, 0, 10*time.Millisecond, 20*time.Millisecond)
+	var seen bool
+	k.Spawn("watch", func(p *sim.Proc) {
+		for p.Now() < 50*time.Millisecond {
+			p.Sleep(time.Millisecond)
+			if n.ActiveHogs() > 0 {
+				seen = true
+			}
+		}
+		if n.ActiveHogs() != 0 {
+			t.Error("hogs still active after window")
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !seen {
+		t.Fatal("hogs never ran")
+	}
+}
+
+func TestDirLockReuse(t *testing.T) {
+	k := sim.New(3)
+	cl := New(k, DefaultConfig(1))
+	n := cl.Nodes[0]
+	a := n.DirLock("/x")
+	b := n.DirLock("/x")
+	c := n.DirLock("/y")
+	if a != b {
+		t.Fatal("same key produced different locks")
+	}
+	if a == c {
+		t.Fatal("different keys share a lock")
+	}
+}
+
+func TestPriorityUnderContention(t *testing.T) {
+	k := sim.New(4)
+	cl := New(k, Config{Nodes: 1, Cores: 1, SyscallTime: time.Microsecond})
+	n := cl.Nodes[0]
+	// Saturate the single core with background work at nice 5.
+	n.StartCPUHog(2, 5, 0, 50*time.Millisecond)
+	var hiOps, loOps int
+	k.Spawn("hi", func(p *sim.Proc) {
+		p.Sleep(time.Millisecond)
+		for p.Now() < 40*time.Millisecond {
+			n.ExecNice(p, 100*time.Microsecond, 0)
+			hiOps++
+		}
+	})
+	k.Spawn("lo", func(p *sim.Proc) {
+		p.Sleep(time.Millisecond)
+		for p.Now() < 40*time.Millisecond {
+			n.ExecNice(p, 100*time.Microsecond, 10)
+			loOps++
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if hiOps <= loOps*2 {
+		t.Fatalf("hi=%d lo=%d: priority had no effect", hiOps, loOps)
+	}
+}
+
+func TestNewSMP(t *testing.T) {
+	k := sim.New(5)
+	cl := NewSMP(k, 512)
+	if len(cl.Nodes) != 1 || cl.Nodes[0].Cores != 512 {
+		t.Fatalf("smp = %d nodes, %d cores", len(cl.Nodes), cl.Nodes[0].Cores)
+	}
+}

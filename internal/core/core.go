@@ -1,0 +1,177 @@
+// Package core implements DMetabench, the distributed metadata benchmark
+// framework that is the primary contribution of the thesis (Chapter 3).
+//
+// The framework executes metadata operation plugins in three phases
+// (prepare / doBench / cleanup) separated by barriers, across a sweep of
+// (nodes × processes-per-node) combinations derived from an MPI-style
+// placement discovery, and records per-process progress on a fixed
+// time-interval grid for post-run analysis (time charts, COV, stonewall
+// and fixed-op averages).
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"dmetabench/internal/fs"
+)
+
+// DefaultInterval is the progress sampling interval (§3.3.3: 0.1 s).
+const DefaultInterval = 100 * time.Millisecond
+
+// Params are the explicit benchmark parameters of §3.3.5.
+type Params struct {
+	// ProblemSize is the per-process operation count for fixed-size
+	// benchmarks, and the per-directory file limit for timed ones
+	// (§3.3.7: a new subdirectory is started every ProblemSize files).
+	ProblemSize int
+	// TimeLimit makes the doBench phase run for a fixed duration
+	// instead of a fixed count (MakeFiles runs for 60 s).
+	TimeLimit time.Duration
+	// WorkDir is the common target directory.
+	WorkDir string
+	// PathList optionally assigns one working directory per process, in
+	// worker order, for namespace-aggregated file systems (§3.3.6).
+	PathList []string
+	// Interval is the sampling grid; zero means DefaultInterval.
+	Interval time.Duration
+	// NodeStep / PPNStep thin out the execution plan (§3.3.5).
+	NodeStep int
+	PPNStep  int
+	// Label names the result set.
+	Label string
+}
+
+func (p Params) interval() time.Duration {
+	if p.Interval <= 0 {
+		return DefaultInterval
+	}
+	return p.Interval
+}
+
+// Ctx is the per-process context handed to plugin phases. It is
+// deliberately independent of the execution substrate so the same plugin
+// code runs inside the simulator and in real mode.
+type Ctx struct {
+	// FS is the file system client bound to this process.
+	FS fs.Client
+	// Rank is the process index within this measurement (0-based).
+	Rank int
+	// Workers is the number of processes in this measurement.
+	Workers int
+	// Node names the OS instance this process runs on.
+	Node string
+	// NodeRank is the index of this process within its node.
+	NodeRank int
+	// Dir is this process's working directory.
+	Dir string
+	// PeerDir is the working directory of this process's partner on
+	// another node (used by StatMultinodeFiles, §3.4.3).
+	PeerDir string
+	// Params echoes the run parameters.
+	Params Params
+	// Now returns the time since the start of the doBench phase; during
+	// prepare/cleanup it is measured from the phase start.
+	Now func() time.Duration
+	// Deadline is the doBench end time (0 = none).
+	Deadline time.Duration
+
+	progress atomic.Int64
+}
+
+// Tick records one completed operation; the supervisor reads the counter
+// concurrently.
+func (c *Ctx) Tick() { c.progress.Add(1) }
+
+// Progress returns the number of completed operations.
+func (c *Ctx) Progress() int64 { return c.progress.Load() }
+
+// Expired reports whether the time limit of a timed benchmark has been
+// reached.
+func (c *Ctx) Expired() bool {
+	return c.Deadline > 0 && c.Now() >= c.Deadline
+}
+
+// Plugin is one benchmark operation (§3.3.3). Implementations must be
+// stateless across processes: any per-process state lives in the Ctx or
+// in local variables, because every process runs its own phase calls.
+type Plugin interface {
+	// Name is the operation name used in result files.
+	Name() string
+	// Prepare establishes preconditions (test files, directories).
+	Prepare(c *Ctx) error
+	// DoBench runs the measured operation loop, calling c.Tick after
+	// every completed operation.
+	DoBench(c *Ctx) error
+	// Cleanup removes test data.
+	Cleanup(c *Ctx) error
+}
+
+// MkdirAll creates path and its missing parents via the client,
+// tolerating concurrently created components. It attempts the mkdir
+// rather than testing with Stat first: §2.6.3 notes that with cached
+// (possibly negative) directory entries "the only way to check the
+// existence of a file is to try to open it" — the same applies here.
+func MkdirAll(c fs.Client, p string) error {
+	if p == "/" || p == "" {
+		return nil
+	}
+	err := c.Mkdir(p)
+	switch {
+	case err == nil || fs.IsExist(err):
+		return nil
+	case fs.IsNotExist(err):
+		parent := parentOf(p)
+		if parent == p {
+			return err
+		}
+		if perr := MkdirAll(c, parent); perr != nil {
+			return perr
+		}
+		err = c.Mkdir(p)
+		if fs.IsExist(err) {
+			return nil
+		}
+		return err
+	default:
+		return err
+	}
+}
+
+func parentOf(p string) string {
+	for i := len(p) - 1; i > 0; i-- {
+		if p[i] == '/' {
+			return p[:i]
+		}
+	}
+	return "/"
+}
+
+// RemoveAll removes the subtree rooted at p via the client. Missing paths
+// are not an error.
+func RemoveAll(c fs.Client, p string) error {
+	a, err := c.Stat(p)
+	if fs.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if a.Type != fs.TypeDirectory {
+		return c.Unlink(p)
+	}
+	ents, err := c.ReadDir(p)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		if err := RemoveAll(c, p+"/"+e.Name); err != nil {
+			return err
+		}
+	}
+	return c.Rmdir(p)
+}
+
+// fileName returns the canonical test file name for index i.
+func fileName(dir string, i int) string { return fmt.Sprintf("%s/%d", dir, i) }

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"dmetabench/internal/cluster"
+	"dmetabench/internal/nfs"
+	"dmetabench/internal/sim"
+)
+
+func TestRunnerCollectsLatencies(t *testing.T) {
+	k := sim.New(9)
+	cl := cluster.New(k, cluster.DefaultConfig(2))
+	cfg := nfs.DefaultConfig()
+	fsys := nfs.New(k, "home", cfg)
+	r := &Runner{
+		Cluster:          cl,
+		FS:               fsys,
+		Params:           Params{ProblemSize: 300, WorkDir: "/bench"},
+		SlotsPerNode:     1,
+		Plugins:          []Plugin{MakeFiles{}},
+		Filter:           func(c Combo) bool { return c.Nodes == 2 },
+		CollectLatencies: true,
+	}
+	set, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := set.Find("MakeFiles", 2, 1)
+	if m == nil || m.Failed() {
+		t.Fatalf("measurement: %+v", m)
+	}
+	h := m.Latencies["create"]
+	if h == nil {
+		t.Fatalf("no create histogram; have %v", m.Latencies)
+	}
+	// Every benchmark create observed (2 procs x 300 ops); prepare and
+	// cleanup operations excluded.
+	if h.Count() != 600 {
+		t.Fatalf("create observations = %d, want 600", h.Count())
+	}
+	// Every create pays at least one network round trip plus service.
+	min := 2*cfg.OneWayLatency + cfg.CreateService
+	if h.Min() < min {
+		t.Fatalf("min create latency %v below floor %v", h.Min(), min)
+	}
+	if h.Percentile(0.5) < h.Min() {
+		t.Fatalf("p50 %v below min %v", h.Percentile(0.5), h.Min())
+	}
+	// Cleanup unlinks must not appear.
+	if m.Latencies["unlink"] != nil {
+		t.Fatal("cleanup-phase unlinks leaked into bench histograms")
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Slot is one MPI slot: a process launch position on a node. The slot
+// layout is fixed by the environment (mpirun -np / hostfile, §3.3.4) and
+// DMetabench can only choose among the given slots.
+type Slot struct {
+	Node       string // node name
+	NodeIndex  int    // index of the node in the cluster
+	SlotOnNode int    // slot position within the node
+	GlobalID   int    // MPI rank
+}
+
+// Placement is the result of placement discovery: the master slot and the
+// worker ordering of Fig. 3.9.
+type Placement struct {
+	Master Slot
+	// Workers is ordered round-robin across nodes: first one worker per
+	// node, then the second from each node, and so on. This order also
+	// matches path-list entries to processes (§3.3.6).
+	Workers []Slot
+	// PerNode maps node name to its worker slots in on-node order.
+	PerNode map[string][]Slot
+	// NodeOrder lists node names in first-appearance order.
+	NodeOrder []string
+}
+
+// Discover performs placement discovery on the given slots: the master is
+// placed on a node with the most slots (so the largest
+// processes-per-node configuration keeps a full complement of workers
+// elsewhere), and the remaining slots are ordered round-robin.
+func Discover(slots []Slot) (Placement, error) {
+	if len(slots) < 2 {
+		return Placement{}, fmt.Errorf("placement: need at least 2 slots (1 master + 1 worker), have %d", len(slots))
+	}
+	byNode := make(map[string][]Slot)
+	var order []string
+	for _, s := range slots {
+		if _, ok := byNode[s.Node]; !ok {
+			order = append(order, s.Node)
+		}
+		byNode[s.Node] = append(byNode[s.Node], s)
+	}
+	// Master: on a node with the most slots (ties: first in order).
+	masterNode := order[0]
+	for _, n := range order {
+		if len(byNode[n]) > len(byNode[masterNode]) {
+			masterNode = n
+		}
+	}
+	master := byNode[masterNode][len(byNode[masterNode])-1]
+	byNode[masterNode] = byNode[masterNode][:len(byNode[masterNode])-1]
+	if len(byNode[masterNode]) == 0 {
+		delete(byNode, masterNode)
+		for i, n := range order {
+			if n == masterNode {
+				order = append(order[:i], order[i+1:]...)
+				break
+			}
+		}
+	}
+	// Round-robin worker ordering.
+	var workers []Slot
+	for round := 0; ; round++ {
+		added := false
+		for _, n := range order {
+			if round < len(byNode[n]) {
+				workers = append(workers, byNode[n][round])
+				added = true
+			}
+		}
+		if !added {
+			break
+		}
+	}
+	return Placement{
+		Master:    master,
+		Workers:   workers,
+		PerNode:   byNode,
+		NodeOrder: order,
+	}, nil
+}
+
+// Combo is one measurement configuration from the execution plan (Table
+// 3.3): a node count, a processes-per-node count and the participating
+// worker slots.
+type Combo struct {
+	Nodes   int
+	PPN     int
+	Workers []Slot
+}
+
+// Procs returns the total process count of the combo.
+func (c Combo) Procs() int { return len(c.Workers) }
+
+// Plan derives the execution plan: every (ppn, nodes) combination the
+// placement supports, thinned by the step parameters. For a given ppn
+// only nodes with at least ppn worker slots are eligible.
+func (p Placement) Plan(nodeStep, ppnStep int) []Combo {
+	if nodeStep < 1 {
+		nodeStep = 1
+	}
+	if ppnStep < 1 {
+		ppnStep = 1
+	}
+	maxPPN := 0
+	for _, ss := range p.PerNode {
+		if len(ss) > maxPPN {
+			maxPPN = len(ss)
+		}
+	}
+	var plan []Combo
+	for ppn := 1; ppn <= maxPPN; ppn += ppnStep {
+		var eligible []string
+		for _, n := range p.NodeOrder {
+			if len(p.PerNode[n]) >= ppn {
+				eligible = append(eligible, n)
+			}
+		}
+		for nodes := 1; nodes <= len(eligible); nodes += nodeStep {
+			var workers []Slot
+			for _, n := range eligible[:nodes] {
+				workers = append(workers, p.PerNode[n][:ppn]...)
+			}
+			// Order workers round-robin across the selected nodes so
+			// rank order matches the global worker ordering.
+			sort.SliceStable(workers, func(i, j int) bool {
+				if workers[i].SlotOnNode != workers[j].SlotOnNode {
+					return workers[i].SlotOnNode < workers[j].SlotOnNode
+				}
+				return workers[i].NodeIndex < workers[j].NodeIndex
+			})
+			plan = append(plan, Combo{Nodes: nodes, PPN: ppn, Workers: workers})
+		}
+	}
+	return plan
+}
+
+// UniformSlots builds the slot layout for nodes × slotsPerNode, MPI ranks
+// assigned node-major like a typical hostfile.
+func UniformSlots(nodeNames []string, slotsPerNode int) []Slot {
+	var slots []Slot
+	id := 0
+	for ni, name := range nodeNames {
+		for s := 0; s < slotsPerNode; s++ {
+			slots = append(slots, Slot{Node: name, NodeIndex: ni, SlotOnNode: s, GlobalID: id})
+			id++
+		}
+	}
+	return slots
+}

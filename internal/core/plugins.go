@@ -1,0 +1,434 @@
+package core
+
+import (
+	"fmt"
+
+	"dmetabench/internal/fs"
+)
+
+// The pre-defined benchmark plugins of Table 3.5. Each operation's
+// doBench loop calls Ctx.Tick once per completed operation; the
+// supervisor samples the counter on the interval grid.
+
+// MakeFiles creates as many empty files as possible for the configured
+// time limit (default 60 s), starting a fresh subdirectory every
+// ProblemSize files so directory-size side effects stay bounded (§3.3.7).
+type MakeFiles struct{}
+
+// Name implements Plugin.
+func (MakeFiles) Name() string { return "MakeFiles" }
+
+// Prepare creates the working directory.
+func (MakeFiles) Prepare(c *Ctx) error { return MkdirAll(c.FS, c.Dir) }
+
+// DoBench creates files until the deadline (or ProblemSize files when no
+// time limit is configured).
+func (MakeFiles) DoBench(c *Ctx) error {
+	limit := c.Params.ProblemSize
+	if limit <= 0 {
+		limit = 5000
+	}
+	sub := 0
+	dir := fmt.Sprintf("%s/s%d", c.Dir, sub)
+	if err := c.FS.Mkdir(dir); err != nil && !fs.IsExist(err) {
+		return err
+	}
+	for i := 0; ; i++ {
+		if c.Deadline > 0 {
+			if c.Expired() {
+				return nil
+			}
+		} else if i >= limit {
+			return nil
+		}
+		if i > 0 && i%limit == 0 {
+			sub++
+			dir = fmt.Sprintf("%s/s%d", c.Dir, sub)
+			if err := c.FS.Mkdir(dir); err != nil && !fs.IsExist(err) {
+				return err
+			}
+		}
+		if err := c.FS.Create(fileName(dir, i%limit)); err != nil {
+			return err
+		}
+		c.Tick()
+	}
+}
+
+// Cleanup removes the working directory tree.
+func (MakeFiles) Cleanup(c *Ctx) error { return RemoveAll(c.FS, c.Dir) }
+
+// MakeFilesSized is MakeFiles with a payload written into every file; the
+// 64- and 65-byte variants probe the WAFL inline-inode allocation
+// boundary (§3.3.8).
+type MakeFilesSized struct {
+	Bytes int64
+}
+
+// Name implements Plugin.
+func (m MakeFilesSized) Name() string { return fmt.Sprintf("MakeFiles%dbyte", m.Bytes) }
+
+// Prepare creates the working directory.
+func (m MakeFilesSized) Prepare(c *Ctx) error { return MkdirAll(c.FS, c.Dir) }
+
+// DoBench creates files and writes the payload.
+func (m MakeFilesSized) DoBench(c *Ctx) error {
+	limit := c.Params.ProblemSize
+	if limit <= 0 {
+		limit = 5000
+	}
+	sub := 0
+	dir := fmt.Sprintf("%s/s%d", c.Dir, sub)
+	if err := c.FS.Mkdir(dir); err != nil && !fs.IsExist(err) {
+		return err
+	}
+	for i := 0; ; i++ {
+		if c.Deadline > 0 {
+			if c.Expired() {
+				return nil
+			}
+		} else if i >= limit {
+			return nil
+		}
+		if i > 0 && i%limit == 0 {
+			sub++
+			dir = fmt.Sprintf("%s/s%d", c.Dir, sub)
+			if err := c.FS.Mkdir(dir); err != nil && !fs.IsExist(err) {
+				return err
+			}
+		}
+		name := fileName(dir, i%limit)
+		if err := c.FS.Create(name); err != nil {
+			return err
+		}
+		h, err := c.FS.Open(name)
+		if err != nil {
+			return err
+		}
+		if err := c.FS.Write(h, m.Bytes); err != nil {
+			return err
+		}
+		if err := c.FS.Close(h); err != nil {
+			return err
+		}
+		c.Tick()
+	}
+}
+
+// Cleanup removes the working directory tree.
+func (m MakeFilesSized) Cleanup(c *Ctx) error { return RemoveAll(c.FS, c.Dir) }
+
+// MakeOnedirFiles has all processes create files in one shared directory;
+// the total number created is ProblemSize, split evenly (§3.3.8). It
+// exposes both client- and server-side same-directory serialization.
+type MakeOnedirFiles struct{}
+
+// Name implements Plugin.
+func (MakeOnedirFiles) Name() string { return "MakeOnedirFiles" }
+
+func onedir(c *Ctx) string { return c.Params.WorkDir + "/onedir" }
+
+// Prepare creates the shared directory (every process tries; EEXIST is
+// fine).
+func (MakeOnedirFiles) Prepare(c *Ctx) error { return MkdirAll(c.FS, onedir(c)) }
+
+// DoBench creates this process's share of the files, names partitioned
+// by rank so uniqueness conflicts cannot occur.
+func (MakeOnedirFiles) DoBench(c *Ctx) error {
+	n := c.Params.ProblemSize / c.Workers
+	dir := onedir(c)
+	for i := 0; i < n; i++ {
+		if err := c.FS.Create(fmt.Sprintf("%s/r%d-%d", dir, c.Rank, i)); err != nil {
+			return err
+		}
+		c.Tick()
+	}
+	return nil
+}
+
+// Cleanup removes this process's files; rank 0 removes the directory.
+func (MakeOnedirFiles) Cleanup(c *Ctx) error {
+	n := c.Params.ProblemSize / c.Workers
+	dir := onedir(c)
+	for i := 0; i < n; i++ {
+		if err := c.FS.Unlink(fmt.Sprintf("%s/r%d-%d", dir, c.Rank, i)); err != nil && !fs.IsNotExist(err) {
+			return err
+		}
+	}
+	return nil
+}
+
+// MakeDirs is MakeFiles with mkdir (§3.3.8).
+type MakeDirs struct{}
+
+// Name implements Plugin.
+func (MakeDirs) Name() string { return "MakeDirs" }
+
+// Prepare creates the working directory.
+func (MakeDirs) Prepare(c *Ctx) error { return MkdirAll(c.FS, c.Dir) }
+
+// DoBench creates directories until the deadline or problem size.
+func (MakeDirs) DoBench(c *Ctx) error {
+	limit := c.Params.ProblemSize
+	if limit <= 0 {
+		limit = 5000
+	}
+	sub := 0
+	dir := fmt.Sprintf("%s/s%d", c.Dir, sub)
+	if err := c.FS.Mkdir(dir); err != nil && !fs.IsExist(err) {
+		return err
+	}
+	for i := 0; ; i++ {
+		if c.Deadline > 0 {
+			if c.Expired() {
+				return nil
+			}
+		} else if i >= limit {
+			return nil
+		}
+		if i > 0 && i%limit == 0 {
+			sub++
+			dir = fmt.Sprintf("%s/s%d", c.Dir, sub)
+			if err := c.FS.Mkdir(dir); err != nil && !fs.IsExist(err) {
+				return err
+			}
+		}
+		if err := c.FS.Mkdir(fileName(dir, i%limit)); err != nil {
+			return err
+		}
+		c.Tick()
+	}
+}
+
+// Cleanup removes the working directory tree.
+func (MakeDirs) Cleanup(c *Ctx) error { return RemoveAll(c.FS, c.Dir) }
+
+// prepareFiles creates ProblemSize test files in the process directory.
+func prepareFiles(c *Ctx) error {
+	if err := MkdirAll(c.FS, c.Dir); err != nil {
+		return err
+	}
+	for i := 0; i < c.Params.ProblemSize; i++ {
+		if err := c.FS.Create(fileName(c.Dir, i)); err != nil && !fs.IsExist(err) {
+			return err
+		}
+	}
+	return nil
+}
+
+// cleanupFiles removes the test files and the directory.
+func cleanupFiles(c *Ctx) error { return RemoveAll(c.FS, c.Dir) }
+
+// DeleteFiles measures unlink on pre-created files (§3.3.8).
+type DeleteFiles struct{}
+
+// Name implements Plugin.
+func (DeleteFiles) Name() string { return "DeleteFiles" }
+
+// Prepare creates the test files.
+func (DeleteFiles) Prepare(c *Ctx) error { return prepareFiles(c) }
+
+// DoBench unlinks every file.
+func (DeleteFiles) DoBench(c *Ctx) error {
+	for i := 0; i < c.Params.ProblemSize; i++ {
+		if err := c.FS.Unlink(fileName(c.Dir, i)); err != nil {
+			return err
+		}
+		c.Tick()
+	}
+	return nil
+}
+
+// Cleanup removes the directory.
+func (DeleteFiles) Cleanup(c *Ctx) error { return cleanupFiles(c) }
+
+// StatFiles measures attribute retrieval with warm client caches.
+type StatFiles struct{}
+
+// Name implements Plugin.
+func (StatFiles) Name() string { return "StatFiles" }
+
+// Prepare creates the test files.
+func (StatFiles) Prepare(c *Ctx) error { return prepareFiles(c) }
+
+// DoBench stats every file.
+func (StatFiles) DoBench(c *Ctx) error {
+	for i := 0; i < c.Params.ProblemSize; i++ {
+		if _, err := c.FS.Stat(fileName(c.Dir, i)); err != nil {
+			return err
+		}
+		c.Tick()
+	}
+	return nil
+}
+
+// Cleanup removes the files.
+func (StatFiles) Cleanup(c *Ctx) error { return cleanupFiles(c) }
+
+// StatNocacheFiles drops the OS caches after preparing the files, so the
+// stats must be served by the file system (§3.4.3). On AFS the persistent
+// cache survives, which is precisely a finding of the thesis.
+type StatNocacheFiles struct{}
+
+// Name implements Plugin.
+func (StatNocacheFiles) Name() string { return "StatNocacheFiles" }
+
+// Prepare creates the files and drops the caches.
+func (StatNocacheFiles) Prepare(c *Ctx) error {
+	if err := prepareFiles(c); err != nil {
+		return err
+	}
+	c.FS.DropCaches()
+	return nil
+}
+
+// DoBench stats every file.
+func (StatNocacheFiles) DoBench(c *Ctx) error { return StatFiles{}.DoBench(c) }
+
+// Cleanup removes the files.
+func (StatNocacheFiles) Cleanup(c *Ctx) error { return cleanupFiles(c) }
+
+// StatMultinodeFiles has every process stat the files created by a peer
+// process on another node, bypassing the local cache without privileged
+// cache-drop operations (§3.4.3).
+type StatMultinodeFiles struct{}
+
+// Name implements Plugin.
+func (StatMultinodeFiles) Name() string { return "StatMultinodeFiles" }
+
+// Prepare creates this process's files; the peer will stat them.
+func (StatMultinodeFiles) Prepare(c *Ctx) error { return prepareFiles(c) }
+
+// DoBench stats the peer's files.
+func (StatMultinodeFiles) DoBench(c *Ctx) error {
+	for i := 0; i < c.Params.ProblemSize; i++ {
+		if _, err := c.FS.Stat(fileName(c.PeerDir, i)); err != nil {
+			return err
+		}
+		c.Tick()
+	}
+	return nil
+}
+
+// Cleanup removes this process's own files.
+func (StatMultinodeFiles) Cleanup(c *Ctx) error { return cleanupFiles(c) }
+
+// OpenCloseFiles measures an open/close pair per pre-created file.
+type OpenCloseFiles struct{}
+
+// Name implements Plugin.
+func (OpenCloseFiles) Name() string { return "OpenCloseFiles" }
+
+// Prepare creates the test files.
+func (OpenCloseFiles) Prepare(c *Ctx) error { return prepareFiles(c) }
+
+// DoBench opens and closes every file.
+func (OpenCloseFiles) DoBench(c *Ctx) error {
+	for i := 0; i < c.Params.ProblemSize; i++ {
+		h, err := c.FS.Open(fileName(c.Dir, i))
+		if err != nil {
+			return err
+		}
+		if err := c.FS.Close(h); err != nil {
+			return err
+		}
+		c.Tick()
+	}
+	return nil
+}
+
+// Cleanup removes the files.
+func (OpenCloseFiles) Cleanup(c *Ctx) error { return cleanupFiles(c) }
+
+// PluginByName resolves the built-in plugins by their result-file names.
+func PluginByName(name string) (Plugin, error) {
+	switch name {
+	case "MakeFiles":
+		return MakeFiles{}, nil
+	case "MakeFiles64byte":
+		return MakeFilesSized{Bytes: 64}, nil
+	case "MakeFiles65byte":
+		return MakeFilesSized{Bytes: 65}, nil
+	case "MakeOnedirFiles":
+		return MakeOnedirFiles{}, nil
+	case "MakeDirs":
+		return MakeDirs{}, nil
+	case "DeleteFiles":
+		return DeleteFiles{}, nil
+	case "StatFiles":
+		return StatFiles{}, nil
+	case "StatNocacheFiles":
+		return StatNocacheFiles{}, nil
+	case "StatMultinodeFiles":
+		return StatMultinodeFiles{}, nil
+	case "OpenCloseFiles":
+		return OpenCloseFiles{}, nil
+	case "ReadDirStatFiles":
+		return ReadDirStatFiles{}, nil
+	case "RenameFiles":
+		return RenameFiles{}, nil
+	default:
+		return nil, fmt.Errorf("unknown benchmark operation %q", name)
+	}
+}
+
+// ReadDirStatFiles models the data-management scan pattern of §2.8.3
+// ("ls -l", incremental backup, virus scan): each operation is a readdir
+// of the working directory followed by a stat of every entry; one tick
+// per scanned entry.
+type ReadDirStatFiles struct{}
+
+// Name implements Plugin.
+func (ReadDirStatFiles) Name() string { return "ReadDirStatFiles" }
+
+// Prepare creates the test files.
+func (ReadDirStatFiles) Prepare(c *Ctx) error { return prepareFiles(c) }
+
+// DoBench scans the directory and stats every entry.
+func (ReadDirStatFiles) DoBench(c *Ctx) error {
+	ents, err := c.FS.ReadDir(c.Dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		if _, err := c.FS.Stat(c.Dir + "/" + e.Name); err != nil {
+			return err
+		}
+		c.Tick()
+	}
+	return nil
+}
+
+// Cleanup removes the files.
+func (ReadDirStatFiles) Cleanup(c *Ctx) error { return cleanupFiles(c) }
+
+// RenameFiles measures the atomic-rename path applications depend on for
+// transactional updates (§2.6.3).
+type RenameFiles struct{}
+
+// Name implements Plugin.
+func (RenameFiles) Name() string { return "RenameFiles" }
+
+// Prepare creates the test files.
+func (RenameFiles) Prepare(c *Ctx) error { return prepareFiles(c) }
+
+// DoBench renames every file within its directory.
+func (RenameFiles) DoBench(c *Ctx) error {
+	for i := 0; i < c.Params.ProblemSize; i++ {
+		if err := c.FS.Rename(fileName(c.Dir, i), fileName(c.Dir, i)+".moved"); err != nil {
+			return err
+		}
+		c.Tick()
+	}
+	return nil
+}
+
+// Cleanup removes the renamed files and the directory.
+func (RenameFiles) Cleanup(c *Ctx) error {
+	for i := 0; i < c.Params.ProblemSize; i++ {
+		if err := c.FS.Unlink(fileName(c.Dir, i) + ".moved"); err != nil && !fs.IsNotExist(err) {
+			return err
+		}
+	}
+	return RemoveAll(c.FS, c.Dir)
+}

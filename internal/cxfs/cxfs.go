@@ -1,0 +1,327 @@
+// Package cxfs models a SAN file system with central metadata management
+// in the style of CXFS on the HLRB II (§4.1.3, §4.5.3): clients reach
+// storage directly over a low-latency SAN, but every metadata operation
+// is delegated to a single active metadata server. Inside one (large SMP)
+// client node, the kernel's CXFS client layer serializes metadata
+// operations on a per-node token — the reason file creation on CXFS does
+// not scale with intra-node process counts, unlike NFS.
+package cxfs
+
+import (
+	"fmt"
+	"path"
+	"time"
+
+	"dmetabench/internal/clientcache"
+	"dmetabench/internal/cluster"
+	"dmetabench/internal/fs"
+	"dmetabench/internal/namespace"
+	"dmetabench/internal/sim"
+	"dmetabench/internal/simnet"
+)
+
+// Config holds the tunables of the CXFS model.
+type Config struct {
+	MDSThreads    int
+	OneWayLatency time.Duration // SAN/private network latency
+
+	CreateService  time.Duration
+	GetattrService time.Duration
+	RemoveService  time.Duration
+	MkdirService   time.Duration
+	RenameService  time.Duration
+	ReaddirService time.Duration
+
+	AttrTTL  time.Duration
+	DirIndex namespace.DirIndex
+	// TokenSerialization: when true (the default, matching observed CXFS
+	// behaviour) all metadata operations of one node are serialized on
+	// the client token.
+	TokenSerialization bool
+}
+
+// DefaultConfig approximates the HLRB II CXFS setup.
+func DefaultConfig() Config {
+	return Config{
+		MDSThreads:         2,
+		OneWayLatency:      60 * time.Microsecond,
+		CreateService:      260 * time.Microsecond,
+		GetattrService:     60 * time.Microsecond,
+		RemoveService:      240 * time.Microsecond,
+		MkdirService:       300 * time.Microsecond,
+		RenameService:      320 * time.Microsecond,
+		ReaddirService:     150 * time.Microsecond,
+		AttrTTL:            5 * time.Second,
+		DirIndex:           namespace.IndexBTree,
+		TokenSerialization: true,
+	}
+}
+
+// FS is one CXFS file system.
+type FS struct {
+	k   *sim.Kernel
+	cfg Config
+
+	mds      *simnet.Server
+	ns       *namespace.Namespace
+	conns    map[*cluster.Node]*simnet.Conn
+	tokens   map[*cluster.Node]*sim.Mutex
+	attrs    map[*cluster.Node]*clientcache.AttrCache
+	dirLocks map[fs.Ino]*sim.Mutex
+	rpcs     int64
+}
+
+// New creates a CXFS instance.
+func New(k *sim.Kernel, name string, cfg Config) *FS {
+	return &FS{
+		k:        k,
+		cfg:      cfg,
+		mds:      simnet.NewServer(k, "cxfs-mds:"+name, cfg.MDSThreads),
+		ns:       namespace.New(),
+		conns:    make(map[*cluster.Node]*simnet.Conn),
+		tokens:   make(map[*cluster.Node]*sim.Mutex),
+		attrs:    make(map[*cluster.Node]*clientcache.AttrCache),
+		dirLocks: make(map[fs.Ino]*sim.Mutex),
+	}
+}
+
+// Name identifies the model.
+func (f *FS) Name() string { return "cxfs" }
+
+// Namespace exposes the metadata server's namespace.
+func (f *FS) Namespace() *namespace.Namespace { return f.ns }
+
+// RPCCount returns the number of metadata RPCs served.
+func (f *FS) RPCCount() int64 { return f.rpcs }
+
+func (f *FS) conn(n *cluster.Node) *simnet.Conn {
+	c, ok := f.conns[n]
+	if !ok {
+		c = simnet.NewConn(f.k, f.mds, f.cfg.OneWayLatency, 0)
+		f.conns[n] = c
+	}
+	return c
+}
+
+func (f *FS) token(n *cluster.Node) *sim.Mutex {
+	m, ok := f.tokens[n]
+	if !ok {
+		m = sim.NewMutex(f.k, "cxfstoken:"+n.Name)
+		f.tokens[n] = m
+	}
+	return m
+}
+
+func (f *FS) attrCache(n *cluster.Node) *clientcache.AttrCache {
+	c, ok := f.attrs[n]
+	if !ok {
+		c = clientcache.NewAttrCache(f.cfg.AttrTTL, f.k.Now)
+		f.attrs[n] = c
+	}
+	return c
+}
+
+func (f *FS) dirLock(ino fs.Ino) *sim.Mutex {
+	m, ok := f.dirLocks[ino]
+	if !ok {
+		m = sim.NewMutex(f.k, fmt.Sprintf("cxfsdir:%d", ino))
+		f.dirLocks[ino] = m
+	}
+	return m
+}
+
+// NewClient binds a client for one process on one node.
+func (f *FS) NewClient(node *cluster.Node, p *sim.Proc) fs.Client {
+	return &client{fsys: f, node: node, p: p, handles: make(map[fs.Handle]string)}
+}
+
+type client struct {
+	fsys    *FS
+	node    *cluster.Node
+	p       *sim.Proc
+	nextFH  fs.Handle
+	handles map[fs.Handle]string
+}
+
+// metaOp runs one delegated metadata operation: per-node token, RPC to
+// the central MDS, directory-size scaled service, namespace change.
+func (c *client) metaOp(p string, svc time.Duration, useDirCost bool, apply func(sp *sim.Proc) error) error {
+	f := c.fsys
+	c.node.Syscall(c.p)
+	if f.cfg.TokenSerialization {
+		tok := f.token(c.node)
+		tok.Lock(c.p)
+		defer tok.Unlock()
+	}
+	var err error
+	f.conn(c.node).Call(c.p, 180, 150, func(sp *sim.Proc) {
+		if useDirCost {
+			if dir, lerr := f.ns.Lookup(path.Dir(p)); lerr == nil {
+				lock := f.dirLock(dir.Ino)
+				lock.Lock(sp)
+				defer lock.Unlock()
+				sp.Sleep(time.Duration(float64(svc) * f.cfg.DirIndex.EntryCost(dir.NumChildren())))
+			} else {
+				sp.Sleep(svc)
+			}
+		} else {
+			sp.Sleep(svc)
+		}
+		f.rpcs++
+		err = apply(sp)
+	})
+	return err
+}
+
+// Create delegates the create to the metadata server.
+func (c *client) Create(p string) error {
+	err := c.metaOp(p, c.fsys.cfg.CreateService, true, func(sp *sim.Proc) error {
+		_, e := c.fsys.ns.Create(p, 0o644, sp.Now())
+		return e
+	})
+	if err == nil {
+		if a, e := c.fsys.ns.Stat(p); e == nil {
+			c.fsys.attrCache(c.node).Put(p, a)
+		}
+	}
+	return err
+}
+
+// Open resolves the path via the MDS (or cache) and returns a handle.
+func (c *client) Open(p string) (fs.Handle, error) {
+	if _, err := c.Stat(p); err != nil {
+		return 0, err
+	}
+	c.nextFH++
+	c.handles[c.nextFH] = p
+	return c.nextFH, nil
+}
+
+// Close releases the handle; data was written directly to the SAN.
+func (c *client) Close(h fs.Handle) error {
+	c.node.Syscall(c.p)
+	if _, ok := c.handles[h]; !ok {
+		return fs.NewError("close", "", fs.EBADF)
+	}
+	delete(c.handles, h)
+	return nil
+}
+
+// Write goes directly to the SAN storage: cheap and fully parallel (the
+// SAN advantage); only the size update involves the MDS lazily.
+func (c *client) Write(h fs.Handle, n int64) error {
+	c.node.Syscall(c.p)
+	p, ok := c.handles[h]
+	if !ok {
+		return fs.NewError("write", "", fs.EBADF)
+	}
+	c.p.Sleep(time.Duration(float64(n) / float64(200<<20) * float64(time.Second)))
+	if node, err := c.fsys.ns.Lookup(p); err == nil {
+		c.fsys.ns.SetSize(node.Ino, node.Size+n, c.p.Now())
+	}
+	return nil
+}
+
+// Fsync is a SAN flush.
+func (c *client) Fsync(h fs.Handle) error {
+	c.node.Syscall(c.p)
+	if _, ok := c.handles[h]; !ok {
+		return fs.NewError("fsync", "", fs.EBADF)
+	}
+	c.p.Sleep(100 * time.Microsecond)
+	return nil
+}
+
+// Mkdir delegates to the MDS.
+func (c *client) Mkdir(p string) error {
+	return c.metaOp(p, c.fsys.cfg.MkdirService, true, func(sp *sim.Proc) error {
+		_, e := c.fsys.ns.Mkdir(p, 0o755, sp.Now())
+		return e
+	})
+}
+
+// Rmdir delegates to the MDS.
+func (c *client) Rmdir(p string) error {
+	return c.metaOp(p, c.fsys.cfg.RemoveService, true, func(sp *sim.Proc) error {
+		return c.fsys.ns.Rmdir(p, sp.Now())
+	})
+}
+
+// Unlink delegates to the MDS.
+func (c *client) Unlink(p string) error {
+	err := c.metaOp(p, c.fsys.cfg.RemoveService, true, func(sp *sim.Proc) error {
+		return c.fsys.ns.Unlink(p, sp.Now())
+	})
+	if err == nil {
+		c.fsys.attrCache(c.node).Invalidate(p)
+	}
+	return err
+}
+
+// Rename delegates to the MDS.
+func (c *client) Rename(oldPath, newPath string) error {
+	err := c.metaOp(oldPath, c.fsys.cfg.RenameService, true, func(sp *sim.Proc) error {
+		return c.fsys.ns.Rename(oldPath, newPath, sp.Now())
+	})
+	if err == nil {
+		cache := c.fsys.attrCache(c.node)
+		cache.Invalidate(oldPath)
+		cache.Invalidate(newPath)
+	}
+	return err
+}
+
+// Link delegates to the MDS.
+func (c *client) Link(oldPath, newPath string) error {
+	return c.metaOp(newPath, c.fsys.cfg.CreateService, true, func(sp *sim.Proc) error {
+		return c.fsys.ns.Link(oldPath, newPath, sp.Now())
+	})
+}
+
+// Symlink delegates to the MDS.
+func (c *client) Symlink(target, linkPath string) error {
+	return c.metaOp(linkPath, c.fsys.cfg.CreateService, true, func(sp *sim.Proc) error {
+		_, e := c.fsys.ns.Symlink(target, linkPath, sp.Now())
+		return e
+	})
+}
+
+// Stat serves from the node cache or delegates to the MDS.
+func (c *client) Stat(p string) (fs.Attr, error) {
+	c.node.Syscall(c.p)
+	cache := c.fsys.attrCache(c.node)
+	if a, ok := cache.Get(p); ok {
+		return a, nil
+	}
+	var a fs.Attr
+	err := c.metaOp(p, c.fsys.cfg.GetattrService, false, func(sp *sim.Proc) error {
+		var e error
+		a, e = c.fsys.ns.Stat(p)
+		return e
+	})
+	if err != nil {
+		return fs.Attr{}, err
+	}
+	cache.Put(p, a)
+	return a, nil
+}
+
+// ReadDir delegates to the MDS.
+func (c *client) ReadDir(p string) ([]fs.DirEntry, error) {
+	var ents []fs.DirEntry
+	err := c.metaOp(p, c.fsys.cfg.ReaddirService, false, func(sp *sim.Proc) error {
+		var e error
+		ents, e = c.fsys.ns.ReadDir(p, sp.Now())
+		if e == nil {
+			sp.Sleep(time.Duration(len(ents)) * time.Microsecond)
+		}
+		return e
+	})
+	return ents, err
+}
+
+// DropCaches clears the node's attribute cache.
+func (c *client) DropCaches() {
+	c.node.Syscall(c.p)
+	c.fsys.attrCache(c.node).Clear()
+}

@@ -1,0 +1,157 @@
+// Package experiments regenerates the evaluation of the thesis (Chapter
+// 4): every table and figure has a function here that builds the
+// corresponding simulated environment, runs DMetabench on it and reports
+// the numbers and shapes the paper discusses. cmd/experiments prints the
+// reports; the root bench_test.go exposes each as a testing.B benchmark.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"dmetabench/internal/charts"
+	"dmetabench/internal/results"
+)
+
+// Row is one reported metric.
+type Row struct {
+	Name  string
+	Value float64
+	Unit  string
+	Note  string
+}
+
+// Report is the outcome of one experiment.
+type Report struct {
+	ID       string
+	Title    string
+	PaperRef string
+	Rows     []Row
+	// Charts holds rendered ASCII charts.
+	Charts []string
+	// Findings summarizes the shape comparison against the paper.
+	Findings []string
+	// Sets holds the raw result sets for further processing.
+	Sets []*results.Set
+}
+
+func (r *Report) row(name string, value float64, unit, note string) {
+	r.Rows = append(r.Rows, Row{Name: name, Value: value, Unit: unit, Note: note})
+}
+
+func (r *Report) finding(format string, args ...interface{}) {
+	r.Findings = append(r.Findings, fmt.Sprintf(format, args...))
+}
+
+// String renders the report as text.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s (%s) ==\n", r.ID, r.Title, r.PaperRef)
+	for _, row := range r.Rows {
+		note := ""
+		if row.Note != "" {
+			note = "  # " + row.Note
+		}
+		val := fmt.Sprintf("%14.1f", row.Value)
+		if row.Value < 10 && row.Value > -10 && row.Value != float64(int64(row.Value)) {
+			val = fmt.Sprintf("%14.3f", row.Value)
+		}
+		fmt.Fprintf(&b, "  %-46s %s %-8s%s\n", row.Name, val, row.Unit, note)
+	}
+	for _, f := range r.Findings {
+		fmt.Fprintf(&b, "  -> %s\n", f)
+	}
+	for _, c := range r.Charts {
+		b.WriteString(c)
+	}
+	return b.String()
+}
+
+// Experiment pairs an id with its runner.
+type Experiment struct {
+	ID  string
+	Run func() *Report
+}
+
+// All lists every experiment in evaluation order.
+func All() []Experiment {
+	return []Experiment{
+		{"E01", E01SyscallCounts},
+		{"E02", E02HarnessOverhead},
+		{"E03", E03CPUHogCOV},
+		{"E04", E04SnapshotNoise},
+		{"E05", E05ConsistencyPoints},
+		{"E06", E06WriteInterference},
+		{"E07", E07CreateScaling},
+		{"E08", E08LargeDirectories},
+		{"E09", E09AllocationBursts},
+		{"E10", E10PriorityScheduling},
+		{"E11", E11SMPScaling},
+		{"E12", E12LatencySweep},
+		{"E13", E13NamespaceAggregation},
+		{"E14", E14AFS},
+		{"E15", E15WritebackCaching},
+	}
+}
+
+// scaleChart renders a perf-vs-procs comparison for the report.
+func scaleChart(title string, inputs []charts.LabeledSeries) string {
+	c := charts.VsProcesses(inputs, 64, 10)
+	return title + "\n" + c
+}
+
+const (
+	chartW = 68
+	chartH = 9
+)
+
+// stoneOf returns the stonewall throughput of (op, nodes, ppn) in a set,
+// or 0 when missing.
+func stoneOf(set *results.Set, op string, nodes, ppn int) float64 {
+	m := set.Find(op, nodes, ppn)
+	if m == nil {
+		return 0
+	}
+	return m.Averages().Stonewall
+}
+
+// wallOf returns the wall-clock throughput, which uses exact completion
+// times and is therefore meaningful even for runs shorter than one
+// sampling interval (where the stonewall average floors at the grid).
+func wallOf(set *results.Set, op string, nodes, ppn int) float64 {
+	m := set.Find(op, nodes, ppn)
+	if m == nil {
+		return 0
+	}
+	return m.Averages().WallClock
+}
+
+// windowThroughput averages the per-interval throughput of a measurement
+// between from and to.
+func windowThroughput(m *results.Measurement, from, to time.Duration) float64 {
+	rows := m.Summary()
+	var sum float64
+	var n int
+	for _, r := range rows {
+		if r.T > from && r.T <= to {
+			sum += r.Throughput
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// maxCOV returns the maximum COV between from and to.
+func maxCOV(m *results.Measurement, from, to time.Duration) float64 {
+	var max float64
+	for _, r := range m.Summary() {
+		if r.T > from && r.T <= to && r.COV > max {
+			max = r.COV
+		}
+	}
+	return max
+}

@@ -1,0 +1,104 @@
+package fs
+
+import "time"
+
+// LatencyFunc observes one completed operation with its latency.
+type LatencyFunc func(kind OpKind, d time.Duration)
+
+// LatencyClient wraps a Client and reports the latency of every
+// operation to Observe, using Now as the clock (virtual time inside the
+// simulator, wall-clock time in real mode).
+type LatencyClient struct {
+	Inner   Client
+	Now     func() time.Duration
+	Observe LatencyFunc
+}
+
+// NewLatencyClient returns a latency-observing wrapper.
+func NewLatencyClient(inner Client, now func() time.Duration, observe LatencyFunc) *LatencyClient {
+	return &LatencyClient{Inner: inner, Now: now, Observe: observe}
+}
+
+func (c *LatencyClient) timed(kind OpKind, fn func() error) error {
+	start := c.Now()
+	err := fn()
+	c.Observe(kind, c.Now()-start)
+	return err
+}
+
+func (c *LatencyClient) Create(p string) error {
+	return c.timed(OpCreate, func() error { return c.Inner.Create(p) })
+}
+
+func (c *LatencyClient) Open(p string) (Handle, error) {
+	var h Handle
+	err := c.timed(OpOpen, func() error {
+		var e error
+		h, e = c.Inner.Open(p)
+		return e
+	})
+	return h, err
+}
+
+func (c *LatencyClient) Close(h Handle) error {
+	return c.timed(OpClose, func() error { return c.Inner.Close(h) })
+}
+
+func (c *LatencyClient) Write(h Handle, n int64) error {
+	return c.timed(OpWrite, func() error { return c.Inner.Write(h, n) })
+}
+
+func (c *LatencyClient) Fsync(h Handle) error {
+	return c.timed(OpFsync, func() error { return c.Inner.Fsync(h) })
+}
+
+func (c *LatencyClient) Mkdir(p string) error {
+	return c.timed(OpMkdir, func() error { return c.Inner.Mkdir(p) })
+}
+
+func (c *LatencyClient) Rmdir(p string) error {
+	return c.timed(OpRmdir, func() error { return c.Inner.Rmdir(p) })
+}
+
+func (c *LatencyClient) Unlink(p string) error {
+	return c.timed(OpUnlink, func() error { return c.Inner.Unlink(p) })
+}
+
+func (c *LatencyClient) Rename(oldPath, newPath string) error {
+	return c.timed(OpRename, func() error { return c.Inner.Rename(oldPath, newPath) })
+}
+
+func (c *LatencyClient) Link(oldPath, newPath string) error {
+	return c.timed(OpLink, func() error { return c.Inner.Link(oldPath, newPath) })
+}
+
+func (c *LatencyClient) Symlink(target, linkPath string) error {
+	return c.timed(OpSymlink, func() error { return c.Inner.Symlink(target, linkPath) })
+}
+
+func (c *LatencyClient) Stat(p string) (Attr, error) {
+	var a Attr
+	err := c.timed(OpStat, func() error {
+		var e error
+		a, e = c.Inner.Stat(p)
+		return e
+	})
+	return a, err
+}
+
+func (c *LatencyClient) ReadDir(p string) ([]DirEntry, error) {
+	var ents []DirEntry
+	err := c.timed(OpReadDir, func() error {
+		var e error
+		ents, e = c.Inner.ReadDir(p)
+		return e
+	})
+	return ents, err
+}
+
+func (c *LatencyClient) DropCaches() {
+	c.timed(OpDropCaches, func() error {
+		c.Inner.DropCaches()
+		return nil
+	})
+}

@@ -1,0 +1,44 @@
+package fs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatencyClientObserves(t *testing.T) {
+	clock := time.Duration(0)
+	now := func() time.Duration { return clock }
+	var lastKind OpKind
+	var lastD time.Duration
+	count := 0
+	lc := NewLatencyClient(newStub(), now, func(kind OpKind, d time.Duration) {
+		lastKind, lastD = kind, d
+		count++
+	})
+	lc.Create("/f")
+	if lastKind != OpCreate || count != 1 {
+		t.Fatalf("kind=%v count=%d", lastKind, count)
+	}
+	if lastD != 0 {
+		t.Fatalf("latency = %v with frozen clock", lastD)
+	}
+	lc.Stat("/f")
+	if lastKind != OpStat || count != 2 {
+		t.Fatalf("kind=%v count=%d", lastKind, count)
+	}
+	h, _ := lc.Open("/f")
+	lc.Write(h, 10)
+	lc.Fsync(h)
+	lc.Close(h)
+	lc.Mkdir("/d")
+	lc.Rmdir("/d")
+	lc.Rename("/f", "/g")
+	lc.Link("/g", "/h")
+	lc.Symlink("/g", "/sym")
+	lc.Unlink("/h")
+	lc.ReadDir("/")
+	lc.DropCaches()
+	if count != 14 {
+		t.Fatalf("count = %d, want every call observed", count)
+	}
+}

@@ -1,0 +1,244 @@
+// Package localfs models a node-local in-memory file system (the
+// /dev/shm case of the thesis's Python-vs-C calibration, §4.2.2, and the
+// intra-node baseline of §4.5): operations cost CPU time on the owning
+// node plus a small per-operation base cost that scales with directory
+// size according to the configured index, with per-directory kernel
+// locking for concurrent modifications.
+package localfs
+
+import (
+	"fmt"
+	"path"
+	"time"
+
+	"dmetabench/internal/cluster"
+	"dmetabench/internal/fs"
+	"dmetabench/internal/namespace"
+	"dmetabench/internal/sim"
+)
+
+// Config holds the localfs cost model.
+type Config struct {
+	CreateCost  time.Duration
+	StatCost    time.Duration
+	RemoveCost  time.Duration
+	MkdirCost   time.Duration
+	RenameCost  time.Duration
+	ReaddirCost time.Duration
+	WriteCostKB time.Duration
+	DirIndex    namespace.DirIndex
+}
+
+// DefaultConfig approximates tmpfs on a 2008-era Xeon: a create/close
+// pair costs single-digit microseconds.
+func DefaultConfig() Config {
+	return Config{
+		CreateCost:  2500 * time.Nanosecond,
+		StatCost:    900 * time.Nanosecond,
+		RemoveCost:  2200 * time.Nanosecond,
+		MkdirCost:   3 * time.Microsecond,
+		RenameCost:  3 * time.Microsecond,
+		ReaddirCost: 2 * time.Microsecond,
+		WriteCostKB: 1500 * time.Nanosecond,
+		DirIndex:    namespace.IndexHash,
+	}
+}
+
+// FS is one local file system instance bound to a node.
+type FS struct {
+	k    *sim.Kernel
+	cfg  Config
+	node *cluster.Node
+	ns   *namespace.Namespace
+
+	dirLocks map[fs.Ino]*sim.Mutex
+}
+
+// New creates a local file system on node.
+func New(k *sim.Kernel, node *cluster.Node, cfg Config) *FS {
+	return &FS{
+		k: k, cfg: cfg, node: node, ns: namespace.New(),
+		dirLocks: make(map[fs.Ino]*sim.Mutex),
+	}
+}
+
+// Name identifies the model.
+func (f *FS) Name() string { return "localfs" }
+
+// Namespace exposes the backing namespace.
+func (f *FS) Namespace() *namespace.Namespace { return f.ns }
+
+// NewClient binds a client for one process. Processes on foreign nodes
+// cannot mount a local file system.
+func (f *FS) NewClient(node *cluster.Node, p *sim.Proc) fs.Client {
+	if node != f.node {
+		panic("localfs: client node differs from file system node")
+	}
+	return &client{fsys: f, p: p, handles: make(map[fs.Handle]*openFile)}
+}
+
+func (f *FS) dirLock(ino fs.Ino) *sim.Mutex {
+	m, ok := f.dirLocks[ino]
+	if !ok {
+		m = sim.NewMutex(f.k, fmt.Sprintf("localdir:%d", ino))
+		f.dirLocks[ino] = m
+	}
+	return m
+}
+
+type openFile struct {
+	path string
+	ino  fs.Ino
+}
+
+type client struct {
+	fsys    *FS
+	p       *sim.Proc
+	nextFH  fs.Handle
+	handles map[fs.Handle]*openFile
+}
+
+// op charges CPU for a directory-touching operation under the kernel's
+// per-directory lock.
+func (c *client) op(p string, base time.Duration, apply func(now time.Duration) error) error {
+	f := c.fsys
+	f.node.Syscall(c.p)
+	var lock *sim.Mutex
+	entries := 0
+	if dir, err := f.ns.Lookup(path.Dir(p)); err == nil {
+		lock = f.dirLock(dir.Ino)
+		entries = dir.NumChildren()
+	}
+	if lock != nil {
+		lock.Lock(c.p)
+		defer lock.Unlock()
+	}
+	f.node.Exec(c.p, time.Duration(float64(base)*f.cfg.DirIndex.EntryCost(entries)))
+	return apply(c.p.Now())
+}
+
+// Create makes a file.
+func (c *client) Create(p string) error {
+	return c.op(p, c.fsys.cfg.CreateCost, func(now time.Duration) error {
+		_, err := c.fsys.ns.Create(p, 0o644, now)
+		return err
+	})
+}
+
+// Open resolves and returns a handle.
+func (c *client) Open(p string) (fs.Handle, error) {
+	f := c.fsys
+	f.node.Syscall(c.p)
+	f.node.Exec(c.p, f.cfg.StatCost)
+	node, err := f.ns.Lookup(p)
+	if err != nil {
+		return 0, err
+	}
+	c.nextFH++
+	c.handles[c.nextFH] = &openFile{path: p, ino: node.Ino}
+	return c.nextFH, nil
+}
+
+// Close releases the handle.
+func (c *client) Close(h fs.Handle) error {
+	c.fsys.node.Syscall(c.p)
+	if _, ok := c.handles[h]; !ok {
+		return fs.NewError("close", "", fs.EBADF)
+	}
+	delete(c.handles, h)
+	return nil
+}
+
+// Write updates the size, charging copy cost.
+func (c *client) Write(h fs.Handle, n int64) error {
+	f := c.fsys
+	f.node.Syscall(c.p)
+	of, ok := c.handles[h]
+	if !ok {
+		return fs.NewError("write", "", fs.EBADF)
+	}
+	f.node.Exec(c.p, time.Duration(float64(f.cfg.WriteCostKB)*float64(n)/1024))
+	node := f.ns.Get(of.ino)
+	if node == nil {
+		return fs.NewError("write", of.path, fs.ESTALE)
+	}
+	return f.ns.SetSize(of.ino, node.Size+n, c.p.Now())
+}
+
+// Fsync is a no-op for the in-memory file system.
+func (c *client) Fsync(h fs.Handle) error {
+	c.fsys.node.Syscall(c.p)
+	if _, ok := c.handles[h]; !ok {
+		return fs.NewError("fsync", "", fs.EBADF)
+	}
+	return nil
+}
+
+// Mkdir creates a directory.
+func (c *client) Mkdir(p string) error {
+	return c.op(p, c.fsys.cfg.MkdirCost, func(now time.Duration) error {
+		_, err := c.fsys.ns.Mkdir(p, 0o755, now)
+		return err
+	})
+}
+
+// Rmdir removes a directory.
+func (c *client) Rmdir(p string) error {
+	return c.op(p, c.fsys.cfg.RemoveCost, func(now time.Duration) error {
+		return c.fsys.ns.Rmdir(p, now)
+	})
+}
+
+// Unlink removes a file.
+func (c *client) Unlink(p string) error {
+	return c.op(p, c.fsys.cfg.RemoveCost, func(now time.Duration) error {
+		return c.fsys.ns.Unlink(p, now)
+	})
+}
+
+// Rename moves an entry.
+func (c *client) Rename(oldPath, newPath string) error {
+	return c.op(oldPath, c.fsys.cfg.RenameCost, func(now time.Duration) error {
+		return c.fsys.ns.Rename(oldPath, newPath, now)
+	})
+}
+
+// Link creates a hardlink.
+func (c *client) Link(oldPath, newPath string) error {
+	return c.op(newPath, c.fsys.cfg.CreateCost, func(now time.Duration) error {
+		return c.fsys.ns.Link(oldPath, newPath, now)
+	})
+}
+
+// Symlink creates a symbolic link.
+func (c *client) Symlink(target, linkPath string) error {
+	return c.op(linkPath, c.fsys.cfg.CreateCost, func(now time.Duration) error {
+		_, err := c.fsys.ns.Symlink(target, linkPath, now)
+		return err
+	})
+}
+
+// Stat reads attributes.
+func (c *client) Stat(p string) (fs.Attr, error) {
+	f := c.fsys
+	f.node.Syscall(c.p)
+	f.node.Exec(c.p, f.cfg.StatCost)
+	return f.ns.Stat(p)
+}
+
+// ReadDir lists a directory.
+func (c *client) ReadDir(p string) ([]fs.DirEntry, error) {
+	f := c.fsys
+	f.node.Syscall(c.p)
+	ents, err := f.ns.ReadDir(p, c.p.Now())
+	if err != nil {
+		return nil, err
+	}
+	f.node.Exec(c.p, f.cfg.ReaddirCost+time.Duration(len(ents))*200*time.Nanosecond)
+	return ents, nil
+}
+
+// DropCaches is a no-op: there is nothing behind the cache.
+func (c *client) DropCaches() {
+	c.fsys.node.Syscall(c.p)
+}

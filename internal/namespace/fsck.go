@@ -1,0 +1,109 @@
+package namespace
+
+import (
+	"fmt"
+
+	"dmetabench/internal/fs"
+)
+
+// Problem is one inconsistency found by Check.
+type Problem struct {
+	Ino  fs.Ino
+	Kind string
+	Note string
+}
+
+func (p Problem) String() string {
+	return fmt.Sprintf("inode %d: %s (%s)", p.Ino, p.Kind, p.Note)
+}
+
+// Check is the file system checker of §2.7.1: it walks the tree from the
+// root and verifies the mutual consistency of the metadata structures —
+// link counts, parent pointers, reachability and the maintained totals.
+// A healthy namespace returns an empty slice. It exists both as a test
+// oracle for the simulator and as the programmatic equivalent of fsck
+// for tooling built on the package.
+func (ns *Namespace) Check() []Problem {
+	var problems []Problem
+	report := func(ino fs.Ino, kind, note string, args ...interface{}) {
+		problems = append(problems, Problem{Ino: ino, Kind: kind, Note: fmt.Sprintf(note, args...)})
+	}
+
+	reachableFiles := make(map[fs.Ino]uint32) // ino -> observed link count
+	reachableDirs := make(map[fs.Ino]bool)
+	var walk func(ino fs.Ino)
+	walk = func(ino fs.Ino) {
+		n := ns.inodes[ino]
+		if n == nil {
+			report(ino, "dangling", "referenced directory inode missing")
+			return
+		}
+		if reachableDirs[ino] {
+			report(ino, "dir-loop", "directory reachable twice")
+			return
+		}
+		reachableDirs[ino] = true
+		wantNlink := uint32(2)
+		for name, child := range n.children {
+			c := ns.inodes[child]
+			if c == nil {
+				report(child, "dangling", "entry %q in dir %d points nowhere", name, ino)
+				continue
+			}
+			switch c.Type {
+			case fs.TypeDirectory:
+				wantNlink++
+				if c.parent != ino {
+					report(child, "bad-parent", "parent is %d, expected %d", c.parent, ino)
+				}
+				walk(child)
+			default:
+				reachableFiles[child]++
+			}
+		}
+		if n.Nlink != wantNlink {
+			report(ino, "bad-nlink", "dir nlink %d, expected %d", n.Nlink, wantNlink)
+		}
+	}
+	root := ns.inodes[ns.root]
+	if root == nil {
+		return []Problem{{Ino: ns.root, Kind: "no-root", Note: "root inode missing"}}
+	}
+	if root.parent != ns.root {
+		report(ns.root, "bad-parent", "root dot-dot must point at itself")
+	}
+	walk(ns.root)
+
+	for ino, links := range reachableFiles {
+		if n := ns.inodes[ino]; n.Nlink != links {
+			report(ino, "bad-nlink", "file nlink %d, %d entries reference it", n.Nlink, links)
+		}
+	}
+	for ino, n := range ns.inodes {
+		switch n.Type {
+		case fs.TypeDirectory:
+			if !reachableDirs[ino] {
+				report(ino, "orphan", "directory not reachable from root")
+			}
+		default:
+			if reachableFiles[ino] == 0 {
+				report(ino, "orphan", "file has no directory entry")
+			}
+		}
+	}
+	if got := len(reachableFiles); got != ns.files {
+		report(0, "bad-count", "file counter %d, walk found %d", ns.files, got)
+	}
+	if got := len(reachableDirs); got != ns.dirs {
+		report(0, "bad-count", "dir counter %d, walk found %d", ns.dirs, got)
+	}
+	return problems
+}
+
+// MustBeConsistent panics with the problem list if the namespace is
+// inconsistent; a convenience for tests and examples.
+func (ns *Namespace) MustBeConsistent() {
+	if problems := ns.Check(); len(problems) > 0 {
+		panic(fmt.Sprintf("namespace inconsistent: %v", problems))
+	}
+}

@@ -1,0 +1,501 @@
+// Package namespace implements an in-memory hierarchical POSIX namespace:
+// inodes, directories, hardlinks and the metadata operations of §2.3 with
+// their error semantics (uniqueness of names, atomic rename, ENOTEMPTY on
+// rmdir, nlink accounting).
+//
+// Every simulated file system server and the local file system model hold
+// a Namespace as their authoritative metadata store. The package is pure
+// data structure — it consumes no virtual time itself; cost models for
+// directory indexes (linear list, name hash, B-tree, §2.4.2) are provided
+// so callers can charge realistic per-operation times that depend on
+// directory size.
+package namespace
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"dmetabench/internal/fs"
+)
+
+// Namespace is a single-rooted POSIX namespace. It is not safe for
+// concurrent use; in the simulator all access is serialized by the DES
+// kernel, and real-mode users must lock externally.
+type Namespace struct {
+	inodes  map[fs.Ino]*Inode
+	nextIno fs.Ino
+	root    fs.Ino
+
+	// Totals maintained incrementally for profiling and charts.
+	files int
+	dirs  int
+}
+
+// Inode is one file system object.
+type Inode struct {
+	Ino      fs.Ino
+	Type     fs.FileType
+	Mode     uint32
+	Nlink    uint32
+	UID, GID uint32
+	Size     int64
+	Atime    time.Duration
+	Mtime    time.Duration
+	Ctime    time.Duration
+
+	// children is non-nil for directories and maps entry name to inode.
+	children map[string]fs.Ino
+	// parent is the containing directory (for directories; ".." link).
+	parent fs.Ino
+	// Target holds the symlink target for symlinks.
+	Target string
+}
+
+// New returns a namespace containing only the root directory.
+func New() *Namespace {
+	ns := &Namespace{inodes: make(map[fs.Ino]*Inode), nextIno: 1}
+	root := &Inode{
+		Ino: 1, Type: fs.TypeDirectory, Mode: 0o755, Nlink: 2,
+		children: make(map[string]fs.Ino),
+	}
+	root.parent = root.Ino
+	ns.inodes[root.Ino] = root
+	ns.root = root.Ino
+	ns.dirs = 1
+	return ns
+}
+
+// Root returns the root inode number.
+func (ns *Namespace) Root() fs.Ino { return ns.root }
+
+// NumFiles returns the number of regular files and symlinks.
+func (ns *Namespace) NumFiles() int { return ns.files }
+
+// NumDirs returns the number of directories (including the root).
+func (ns *Namespace) NumDirs() int { return ns.dirs }
+
+// NumInodes returns the number of live inodes.
+func (ns *Namespace) NumInodes() int { return len(ns.inodes) }
+
+// Get returns the inode by number, or nil.
+func (ns *Namespace) Get(ino fs.Ino) *Inode { return ns.inodes[ino] }
+
+// split breaks an absolute path into components. An empty path or "/"
+// yields no components.
+func split(p string) []string {
+	p = strings.Trim(p, "/")
+	if p == "" {
+		return nil
+	}
+	return strings.Split(p, "/")
+}
+
+// Lookup resolves path to an inode. It follows "." and ".." but not
+// symlinks (metadata benchmarks act on the link itself).
+func (ns *Namespace) Lookup(path string) (*Inode, error) {
+	ino, _, err := ns.walk(path, false)
+	if err != nil {
+		return nil, err
+	}
+	return ns.inodes[ino], nil
+}
+
+// LookupDepth resolves path and additionally reports the number of
+// directory components traversed, which callers use to charge path-walk
+// costs (POSIX requires a permission check on every component, §2.3.1).
+func (ns *Namespace) LookupDepth(path string) (*Inode, int, error) {
+	ino, depth, err := ns.walk(path, false)
+	if err != nil {
+		return nil, depth, err
+	}
+	return ns.inodes[ino], depth, nil
+}
+
+// walk resolves path. If parentOnly, it resolves the parent directory of
+// the final component and returns it; the caller handles the final name.
+func (ns *Namespace) walk(path string, parentOnly bool) (fs.Ino, int, error) {
+	comps := split(path)
+	if parentOnly {
+		if len(comps) == 0 {
+			return 0, 0, fs.NewError("walk", path, fs.EINVAL)
+		}
+		comps = comps[:len(comps)-1]
+	}
+	cur := ns.root
+	depth := 0
+	for _, c := range comps {
+		node := ns.inodes[cur]
+		if node.Type != fs.TypeDirectory {
+			return 0, depth, fs.NewError("walk", path, fs.ENOTDIR)
+		}
+		depth++
+		switch c {
+		case ".":
+			continue
+		case "..":
+			cur = node.parent
+			continue
+		}
+		next, ok := node.children[c]
+		if !ok {
+			return 0, depth, fs.NewError("walk", path, fs.ENOENT)
+		}
+		cur = next
+	}
+	return cur, depth, nil
+}
+
+// parentAndName resolves the parent directory of path and returns it with
+// the final component.
+func (ns *Namespace) parentAndName(op, path string) (*Inode, string, error) {
+	comps := split(path)
+	if len(comps) == 0 {
+		return nil, "", fs.NewError(op, path, fs.EINVAL)
+	}
+	name := comps[len(comps)-1]
+	if name == "." || name == ".." {
+		return nil, "", fs.NewError(op, path, fs.EINVAL)
+	}
+	ino, _, err := ns.walk(path, true)
+	if err != nil {
+		return nil, "", err
+	}
+	dir := ns.inodes[ino]
+	if dir.Type != fs.TypeDirectory {
+		return nil, "", fs.NewError(op, path, fs.ENOTDIR)
+	}
+	return dir, name, nil
+}
+
+func (ns *Namespace) alloc(t fs.FileType, mode uint32, now time.Duration) *Inode {
+	ns.nextIno++
+	ino := &Inode{
+		Ino: ns.nextIno, Type: t, Mode: mode,
+		Atime: now, Mtime: now, Ctime: now,
+	}
+	if t == fs.TypeDirectory {
+		ino.children = make(map[string]fs.Ino)
+		ino.Nlink = 2
+	} else {
+		ino.Nlink = 1
+	}
+	ns.inodes[ino.Ino] = ino
+	return ino
+}
+
+// Create makes a regular file at path. It fails with EEXIST if any entry
+// with that name exists (uniqueness guarantee, §2.6.3).
+func (ns *Namespace) Create(path string, mode uint32, now time.Duration) (*Inode, error) {
+	dir, name, err := ns.parentAndName("create", path)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := dir.children[name]; ok {
+		return nil, fs.NewError("create", path, fs.EEXIST)
+	}
+	ino := ns.alloc(fs.TypeRegular, mode, now)
+	dir.children[name] = ino.Ino
+	dir.Mtime, dir.Ctime = now, now
+	ns.files++
+	return ino, nil
+}
+
+// Mkdir makes a directory at path.
+func (ns *Namespace) Mkdir(path string, mode uint32, now time.Duration) (*Inode, error) {
+	dir, name, err := ns.parentAndName("mkdir", path)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := dir.children[name]; ok {
+		return nil, fs.NewError("mkdir", path, fs.EEXIST)
+	}
+	ino := ns.alloc(fs.TypeDirectory, mode, now)
+	ino.parent = dir.Ino
+	dir.children[name] = ino.Ino
+	dir.Nlink++ // child's ".."
+	dir.Mtime, dir.Ctime = now, now
+	ns.dirs++
+	return ino, nil
+}
+
+// Symlink creates a symbolic link at path pointing at target.
+func (ns *Namespace) Symlink(target, path string, now time.Duration) (*Inode, error) {
+	dir, name, err := ns.parentAndName("symlink", path)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := dir.children[name]; ok {
+		return nil, fs.NewError("symlink", path, fs.EEXIST)
+	}
+	ino := ns.alloc(fs.TypeSymlink, 0o777, now)
+	ino.Target = target
+	ino.Size = int64(len(target))
+	dir.children[name] = ino.Ino
+	dir.Mtime, dir.Ctime = now, now
+	ns.files++
+	return ino, nil
+}
+
+// Link creates a hardlink newPath to the file at oldPath. Directories
+// cannot be hardlinked (§2.1.1).
+func (ns *Namespace) Link(oldPath, newPath string, now time.Duration) error {
+	target, err := ns.Lookup(oldPath)
+	if err != nil {
+		return err
+	}
+	if target.Type == fs.TypeDirectory {
+		return fs.NewError("link", oldPath, fs.EISDIR)
+	}
+	dir, name, err := ns.parentAndName("link", newPath)
+	if err != nil {
+		return err
+	}
+	if _, ok := dir.children[name]; ok {
+		return fs.NewError("link", newPath, fs.EEXIST)
+	}
+	dir.children[name] = target.Ino
+	target.Nlink++
+	target.Ctime = now
+	dir.Mtime, dir.Ctime = now, now
+	return nil
+}
+
+// Unlink removes the directory entry for a file. The inode is freed when
+// its last link goes (open-file retention is a client concern, §2.3.1).
+func (ns *Namespace) Unlink(path string, now time.Duration) error {
+	dir, name, err := ns.parentAndName("unlink", path)
+	if err != nil {
+		return err
+	}
+	childIno, ok := dir.children[name]
+	if !ok {
+		return fs.NewError("unlink", path, fs.ENOENT)
+	}
+	child := ns.inodes[childIno]
+	if child.Type == fs.TypeDirectory {
+		return fs.NewError("unlink", path, fs.EISDIR)
+	}
+	delete(dir.children, name)
+	dir.Mtime, dir.Ctime = now, now
+	child.Nlink--
+	child.Ctime = now
+	if child.Nlink == 0 {
+		delete(ns.inodes, childIno)
+		ns.files--
+	}
+	return nil
+}
+
+// Rmdir removes an empty directory.
+func (ns *Namespace) Rmdir(path string, now time.Duration) error {
+	dir, name, err := ns.parentAndName("rmdir", path)
+	if err != nil {
+		return err
+	}
+	childIno, ok := dir.children[name]
+	if !ok {
+		return fs.NewError("rmdir", path, fs.ENOENT)
+	}
+	child := ns.inodes[childIno]
+	if child.Type != fs.TypeDirectory {
+		return fs.NewError("rmdir", path, fs.ENOTDIR)
+	}
+	if len(child.children) != 0 {
+		return fs.NewError("rmdir", path, fs.ENOTEMPTY)
+	}
+	delete(dir.children, name)
+	delete(ns.inodes, childIno)
+	dir.Nlink--
+	dir.Mtime, dir.Ctime = now, now
+	ns.dirs--
+	return nil
+}
+
+// Rename atomically moves oldPath to newPath (§2.6.3). An existing
+// regular-file target is replaced; an existing directory target must be
+// empty. Renaming a directory under itself fails with EINVAL.
+func (ns *Namespace) Rename(oldPath, newPath string, now time.Duration) error {
+	odir, oname, err := ns.parentAndName("rename", oldPath)
+	if err != nil {
+		return err
+	}
+	srcIno, ok := odir.children[oname]
+	if !ok {
+		return fs.NewError("rename", oldPath, fs.ENOENT)
+	}
+	src := ns.inodes[srcIno]
+	ndir, nname, err := ns.parentAndName("rename", newPath)
+	if err != nil {
+		return err
+	}
+	if src.Type == fs.TypeDirectory {
+		// Disallow moving a directory into its own subtree.
+		for d := ndir; ; {
+			if d.Ino == srcIno {
+				return fs.NewError("rename", newPath, fs.EINVAL)
+			}
+			if d.Ino == ns.root {
+				break
+			}
+			d = ns.inodes[d.parent]
+		}
+	}
+	if dstIno, ok := ndir.children[nname]; ok {
+		if dstIno == srcIno {
+			return nil // same object; POSIX no-op
+		}
+		dst := ns.inodes[dstIno]
+		switch {
+		case dst.Type == fs.TypeDirectory && src.Type != fs.TypeDirectory:
+			return fs.NewError("rename", newPath, fs.EISDIR)
+		case dst.Type != fs.TypeDirectory && src.Type == fs.TypeDirectory:
+			return fs.NewError("rename", newPath, fs.ENOTDIR)
+		case dst.Type == fs.TypeDirectory:
+			if len(dst.children) != 0 {
+				return fs.NewError("rename", newPath, fs.ENOTEMPTY)
+			}
+			delete(ns.inodes, dstIno)
+			ndir.Nlink--
+			ns.dirs--
+		default:
+			dst.Nlink--
+			if dst.Nlink == 0 {
+				delete(ns.inodes, dstIno)
+				ns.files--
+			}
+		}
+	}
+	delete(odir.children, oname)
+	ndir.children[nname] = srcIno
+	if src.Type == fs.TypeDirectory && odir.Ino != ndir.Ino {
+		odir.Nlink--
+		ndir.Nlink++
+		src.parent = ndir.Ino
+	}
+	src.Ctime = now
+	odir.Mtime, odir.Ctime = now, now
+	ndir.Mtime, ndir.Ctime = now, now
+	return nil
+}
+
+// Stat returns the attributes of the object at path.
+func (ns *Namespace) Stat(path string) (fs.Attr, error) {
+	node, err := ns.Lookup(path)
+	if err != nil {
+		return fs.Attr{}, err
+	}
+	return node.Attr(), nil
+}
+
+// Attr converts the inode to the public attribute struct.
+func (n *Inode) Attr() fs.Attr {
+	return fs.Attr{
+		Ino: n.Ino, Type: n.Type, Mode: n.Mode, Nlink: n.Nlink,
+		UID: n.UID, GID: n.GID, Size: n.Size,
+		Blocks: (n.Size + 511) / 512,
+		Atime:  n.Atime, Mtime: n.Mtime, Ctime: n.Ctime,
+	}
+}
+
+// NumChildren returns the entry count of a directory inode (0 otherwise).
+func (n *Inode) NumChildren() int { return len(n.children) }
+
+// ReadDir lists the entries of the directory at path in name order
+// (deterministic for the simulator; real readdir order is unspecified).
+func (ns *Namespace) ReadDir(path string, now time.Duration) ([]fs.DirEntry, error) {
+	node, err := ns.Lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	if node.Type != fs.TypeDirectory {
+		return nil, fs.NewError("readdir", path, fs.ENOTDIR)
+	}
+	node.Atime = now
+	ents := make([]fs.DirEntry, 0, len(node.children))
+	for name, ino := range node.children {
+		ents = append(ents, fs.DirEntry{Name: name, Ino: ino, Type: ns.inodes[ino].Type})
+	}
+	sort.Slice(ents, func(i, j int) bool { return ents[i].Name < ents[j].Name })
+	return ents, nil
+}
+
+// SetSize updates a file's size (used by Write models) and stamps mtime.
+func (ns *Namespace) SetSize(ino fs.Ino, size int64, now time.Duration) error {
+	n := ns.inodes[ino]
+	if n == nil {
+		return fs.NewError("setsize", "", fs.ESTALE)
+	}
+	if n.Type == fs.TypeDirectory {
+		return fs.NewError("setsize", "", fs.EISDIR)
+	}
+	n.Size = size
+	n.Mtime, n.Ctime = now, now
+	return nil
+}
+
+// DirIndex identifies the directory data structure used by a server's
+// local file system, which determines how per-entry costs scale with
+// directory size (§2.4.2).
+type DirIndex int
+
+// Directory index kinds.
+const (
+	// IndexLinear is the traditional UFS linear entry list: O(n) lookup
+	// and insert (the insert must verify uniqueness by scanning).
+	IndexLinear DirIndex = iota
+	// IndexHash is a name-hash index (WAFL-style): near O(1) with a mild
+	// growth term from bucket chains.
+	IndexHash
+	// IndexBTree is a B-tree directory (XFS/ldiskfs htree): O(log n).
+	IndexBTree
+)
+
+func (d DirIndex) String() string {
+	switch d {
+	case IndexLinear:
+		return "linear"
+	case IndexHash:
+		return "hash"
+	case IndexBTree:
+		return "btree"
+	default:
+		return "unknown"
+	}
+}
+
+// EntryCost returns the relative cost (in abstract units, 1.0 = cost in a
+// small directory) of a single lookup or insert in a directory with n
+// entries under the given index. Servers multiply this by their base
+// per-entry service time.
+func (d DirIndex) EntryCost(n int) float64 {
+	if n < 1 {
+		n = 1
+	}
+	switch d {
+	case IndexLinear:
+		// Scanning half the entries on average; normalized so that
+		// a 128-entry directory costs ~1.
+		c := float64(n) / 256.0
+		if c < 1 {
+			return 1
+		}
+		return c
+	case IndexHash:
+		// Bucket chains grow slowly; 1% per doubling beyond 4k entries.
+		if n <= 4096 {
+			return 1
+		}
+		return 1 + 0.01*math.Log2(float64(n)/4096)
+	case IndexBTree:
+		// log16(n) levels, normalized to 1 for small directories.
+		c := math.Log(float64(n)) / math.Log(16) / 2
+		if c < 1 {
+			return 1
+		}
+		return c
+	default:
+		return 1
+	}
+}

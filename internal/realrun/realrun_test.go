@@ -1,0 +1,157 @@
+package realrun
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"dmetabench/internal/core"
+	"dmetabench/internal/fs"
+)
+
+func TestOSClientBasics(t *testing.T) {
+	c := NewOSClient(t.TempDir())
+	if err := c.Mkdir("/d"); err != nil {
+		t.Fatalf("mkdir: %v", err)
+	}
+	if err := c.Create("/d/f"); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if err := c.Create("/d/f"); fs.CodeOf(err) != fs.EEXIST {
+		t.Fatalf("dup create: %v", err)
+	}
+	h, err := c.Open("/d/f")
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if err := c.Write(h, 1234); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := c.Fsync(h); err != nil {
+		t.Fatalf("fsync: %v", err)
+	}
+	if err := c.Close(h); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	a, err := c.Stat("/d/f")
+	if err != nil || a.Size != 1234 || a.Type != fs.TypeRegular {
+		t.Fatalf("stat: %v %+v", err, a)
+	}
+	if err := c.Link("/d/f", "/d/g"); err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	if err := c.Rename("/d/g", "/d/h"); err != nil {
+		t.Fatalf("rename: %v", err)
+	}
+	ents, err := c.ReadDir("/d")
+	if err != nil || len(ents) != 2 {
+		t.Fatalf("readdir: %v %v", err, ents)
+	}
+	if err := c.Rmdir("/d"); fs.CodeOf(err) != fs.ENOTEMPTY {
+		t.Fatalf("rmdir non-empty: %v", err)
+	}
+	if err := c.Unlink("/d"); fs.CodeOf(err) != fs.EISDIR {
+		t.Fatalf("unlink dir: %v", err)
+	}
+	c.Unlink("/d/f")
+	c.Unlink("/d/h")
+	if err := c.Rmdir("/d"); err != nil {
+		t.Fatalf("rmdir: %v", err)
+	}
+	if _, err := c.Stat("/d"); fs.CodeOf(err) != fs.ENOENT {
+		t.Fatalf("stat removed: %v", err)
+	}
+}
+
+func TestOSClientPathEscape(t *testing.T) {
+	root := t.TempDir()
+	c := NewOSClient(root)
+	// Escaping paths are clamped into the root.
+	if err := c.Create("/../../escaped"); err != nil {
+		t.Fatalf("clamped create: %v", err)
+	}
+	if _, err := c.Stat("/escaped"); err != nil {
+		t.Fatalf("clamped file not under root: %v", err)
+	}
+}
+
+func TestRealRunnerLocal(t *testing.T) {
+	r := &Runner{
+		Root:    t.TempDir(),
+		Workers: 3,
+		Params: core.Params{
+			ProblemSize: 300,
+			WorkDir:     "/bench",
+			Interval:    5 * time.Millisecond,
+		},
+		Plugins: []core.Plugin{core.MakeFiles{}, core.StatFiles{}},
+	}
+	set, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Measurements) != 2 {
+		t.Fatalf("measurements = %d", len(set.Measurements))
+	}
+	for _, m := range set.Measurements {
+		if m.Failed() {
+			t.Fatalf("%s failed: %v", m.Op, m.Errors)
+		}
+		if m.TotalOps() != int64(300*3) {
+			t.Fatalf("%s ops = %d", m.Op, m.TotalOps())
+		}
+		if a := m.Averages(); a.WallClock <= 0 {
+			t.Fatalf("%s wallclock = %f", m.Op, a.WallClock)
+		}
+	}
+}
+
+func TestRPCMasterWorker(t *testing.T) {
+	root := t.TempDir()
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		addrs = append(addrs, l.Addr().String())
+		go Serve(l, "worker")
+	}
+	m := &Master{
+		Root:  root,
+		Addrs: addrs,
+		Params: core.Params{
+			ProblemSize: 200,
+			WorkDir:     "/bench",
+			Interval:    5 * time.Millisecond,
+		},
+		Plugins: []core.Plugin{core.MakeFiles{}, core.DeleteFiles{}},
+	}
+	set, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, meas := range set.Measurements {
+		if meas.Failed() {
+			t.Fatalf("%s failed: %v", meas.Op, meas.Errors)
+		}
+		if meas.Nodes != 2 {
+			t.Fatalf("nodes = %d", meas.Nodes)
+		}
+		if meas.TotalOps() != 400 {
+			t.Fatalf("%s ops = %d", meas.Op, meas.TotalOps())
+		}
+	}
+	// Workspace cleaned up by the cleanup phases.
+	c := NewOSClient(root)
+	ents, err := c.ReadDir("/bench")
+	if err == nil {
+		for _, e := range ents {
+			sub, _ := c.ReadDir("/bench/" + e.Name)
+			if len(sub) != 0 {
+				t.Fatalf("leftover files under /bench/%s: %v", e.Name, sub)
+			}
+		}
+	}
+}

@@ -1,0 +1,274 @@
+package realrun
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+	"time"
+
+	"dmetabench/internal/core"
+	"dmetabench/internal/results"
+)
+
+// The net/rpc master/worker protocol replaces MPI for distributed real
+// runs: dmetaworker daemons register a Worker service, the master assigns
+// every daemon a rank, drives the three phases, and polls the progress
+// counters on the interval grid.
+
+// SetupArgs configures a worker for one measurement.
+type SetupArgs struct {
+	Root    string
+	Op      string
+	Rank    int
+	Workers int
+	Dir     string
+	PeerDir string
+	Params  core.Params
+}
+
+// PhaseArgs starts one phase; the call returns when the phase finishes.
+type PhaseArgs struct {
+	Phase string // "prepare" | "dobench" | "cleanup"
+}
+
+// PhaseReply carries the phase outcome.
+type PhaseReply struct {
+	Err        string
+	FinishedAt time.Duration // doBench only: time from phase start
+	Final      int64
+}
+
+// ProgressReply carries the live progress counter.
+type ProgressReply struct {
+	Done int64
+}
+
+// Worker is the RPC service run by dmetaworker.
+type Worker struct {
+	Hostname string
+
+	mu     sync.Mutex
+	ctx    *core.Ctx
+	plugin core.Plugin
+}
+
+// Setup prepares the worker state for one measurement.
+func (w *Worker) Setup(args *SetupArgs, _ *struct{}) error {
+	plugin, err := core.PluginByName(args.Op)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.plugin = plugin
+	w.ctx = &core.Ctx{
+		FS:      NewOSClient(args.Root),
+		Rank:    args.Rank,
+		Workers: args.Workers,
+		Node:    w.Hostname,
+		Dir:     args.Dir,
+		PeerDir: args.PeerDir,
+		Params:  args.Params,
+	}
+	return nil
+}
+
+// RunPhase executes one phase synchronously.
+func (w *Worker) RunPhase(args *PhaseArgs, reply *PhaseReply) error {
+	w.mu.Lock()
+	ctx, plugin := w.ctx, w.plugin
+	w.mu.Unlock()
+	if ctx == nil {
+		return fmt.Errorf("worker: RunPhase before Setup")
+	}
+	start := time.Now()
+	ctx.Now = func() time.Duration { return time.Since(start) }
+	var err error
+	switch args.Phase {
+	case "prepare":
+		err = plugin.Prepare(ctx)
+	case "dobench":
+		ctx.Deadline = ctx.Params.TimeLimit
+		err = plugin.DoBench(ctx)
+		reply.FinishedAt = time.Since(start)
+		reply.Final = ctx.Progress()
+	case "cleanup":
+		err = plugin.Cleanup(ctx)
+	default:
+		return fmt.Errorf("worker: unknown phase %q", args.Phase)
+	}
+	if err != nil {
+		reply.Err = err.Error()
+	}
+	return nil
+}
+
+// Progress reports the current operation count.
+func (w *Worker) Progress(_ *struct{}, reply *ProgressReply) error {
+	w.mu.Lock()
+	ctx := w.ctx
+	w.mu.Unlock()
+	if ctx != nil {
+		reply.Done = ctx.Progress()
+	}
+	return nil
+}
+
+// Serve registers a Worker on the listener and serves until the listener
+// closes.
+func Serve(l net.Listener, hostname string) error {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Worker", &Worker{Hostname: hostname}); err != nil {
+		return err
+	}
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go srv.ServeConn(conn)
+	}
+}
+
+// Master coordinates a distributed real run over a set of worker
+// addresses (one OS process per address).
+type Master struct {
+	Root    string
+	Addrs   []string
+	Params  core.Params
+	Plugins []core.Plugin
+}
+
+// Run executes every plugin across all workers.
+func (m *Master) Run() (*results.Set, error) {
+	interval := m.Params.Interval
+	if interval <= 0 {
+		interval = core.DefaultInterval
+	}
+	clients := make([]*rpc.Client, len(m.Addrs))
+	for i, addr := range m.Addrs {
+		c, err := rpc.Dial("tcp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("dial worker %s: %w", addr, err)
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+	set := results.NewSet(m.Params.Label, "os-cluster:"+m.Root, interval)
+	for _, plugin := range m.Plugins {
+		meas, err := m.runOne(clients, plugin, interval)
+		if err != nil {
+			return nil, err
+		}
+		set.Add(meas)
+	}
+	return set, nil
+}
+
+func (m *Master) runOne(clients []*rpc.Client, plugin core.Plugin, interval time.Duration) (*results.Measurement, error) {
+	n := len(clients)
+	dirs := make([]string, n)
+	for rank := range clients {
+		dirs[rank] = fmt.Sprintf("%s/%s-w%d/p%03d", m.Params.WorkDir, plugin.Name(), n, rank)
+	}
+	for rank, c := range clients {
+		args := &SetupArgs{
+			Root: m.Root, Op: plugin.Name(), Rank: rank, Workers: n,
+			Dir: dirs[rank], PeerDir: dirs[(rank+1)%n], Params: m.Params,
+		}
+		if err := c.Call("Worker.Setup", args, &struct{}{}); err != nil {
+			return nil, fmt.Errorf("setup rank %d: %w", rank, err)
+		}
+	}
+
+	errs := make([]string, n)
+	phase := func(name string) ([]PhaseReply, error) {
+		replies := make([]PhaseReply, n)
+		calls := make([]*rpc.Call, n)
+		for rank, c := range clients {
+			calls[rank] = c.Go("Worker.RunPhase", &PhaseArgs{Phase: name}, &replies[rank], nil)
+		}
+		for rank, call := range calls {
+			<-call.Done
+			if call.Error != nil {
+				return nil, fmt.Errorf("%s rank %d: %w", name, rank, call.Error)
+			}
+			if replies[rank].Err != "" && errs[rank] == "" {
+				errs[rank] = name + ": " + replies[rank].Err
+			}
+		}
+		return replies, nil
+	}
+
+	if _, err := phase("prepare"); err != nil {
+		return nil, err
+	}
+
+	// doBench: issue async calls, poll progress until they all return.
+	replies := make([]PhaseReply, n)
+	calls := make([]*rpc.Call, n)
+	for rank, c := range clients {
+		calls[rank] = c.Go("Worker.RunPhase", &PhaseArgs{Phase: "dobench"}, &replies[rank], nil)
+	}
+	allDone := make(chan struct{})
+	var wg sync.WaitGroup
+	for rank := range calls {
+		rank := rank
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-calls[rank].Done
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(allDone)
+	}()
+	traces := make([][]int64, n)
+	ticker := time.NewTicker(interval)
+sampling:
+	for {
+		select {
+		case <-ticker.C:
+			for rank, c := range clients {
+				var pr ProgressReply
+				if err := c.Call("Worker.Progress", &struct{}{}, &pr); err == nil {
+					traces[rank] = append(traces[rank], pr.Done)
+				}
+			}
+		case <-allDone:
+			break sampling
+		}
+	}
+	ticker.Stop()
+	for rank := range clients {
+		if calls[rank].Error != nil {
+			return nil, fmt.Errorf("dobench rank %d: %w", rank, calls[rank].Error)
+		}
+		if replies[rank].Err != "" && errs[rank] == "" {
+			errs[rank] = "dobench: " + replies[rank].Err
+		}
+	}
+
+	if _, err := phase("cleanup"); err != nil {
+		return nil, err
+	}
+
+	meas := &results.Measurement{
+		Op: plugin.Name(), Nodes: n, PPN: 1, Interval: interval, Errors: errs,
+	}
+	for rank := range clients {
+		done := traces[rank]
+		if len(done) == 0 || done[len(done)-1] < replies[rank].Final {
+			done = append(done, replies[rank].Final)
+		}
+		meas.Traces = append(meas.Traces, results.Trace{
+			Host: m.Addrs[rank], Op: plugin.Name(), Proc: rank,
+			Done:       done,
+			Final:      replies[rank].Final,
+			FinishedAt: replies[rank].FinishedAt,
+		})
+	}
+	return meas, nil
+}

@@ -1,0 +1,130 @@
+package results
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Save writes the result set to dir in the file layout of §3.3.9: one
+// results-<op>-<nodes>-<procs>.tsv trace file and one summary-*.tsv per
+// measurement, a performance.tsv with the compressed averages (Listing
+// 3.5) and an environment.txt with the profiling data.
+func (s *Set) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	perf, err := os.Create(filepath.Join(dir, "performance.tsv"))
+	if err != nil {
+		return err
+	}
+	defer perf.Close()
+	fmt.Fprintln(perf, "Operation\tNodes\tPPN\tProcs\tStonewallOpsPerSec\tWallClockOpsPerSec\tRuntimeSec")
+	for _, m := range s.Measurements {
+		tf, err := os.Create(filepath.Join(dir, m.TraceFileName()))
+		if err != nil {
+			return err
+		}
+		if err := m.WriteTrace(tf); err != nil {
+			tf.Close()
+			return err
+		}
+		tf.Close()
+		sf, err := os.Create(filepath.Join(dir, "summary-"+strings.TrimPrefix(m.TraceFileName(), "results-")))
+		if err != nil {
+			return err
+		}
+		if err := m.WriteSummary(sf); err != nil {
+			sf.Close()
+			return err
+		}
+		sf.Close()
+		a := m.Averages()
+		fmt.Fprintf(perf, "%s\t%d\t%d\t%d\t%.1f\t%.1f\t%.3f\n",
+			m.Op, m.Nodes, m.PPN, m.Procs(), a.Stonewall, a.WallClock, a.Runtime.Seconds())
+	}
+	env, err := os.Create(filepath.Join(dir, "environment.txt"))
+	if err != nil {
+		return err
+	}
+	defer env.Close()
+	fmt.Fprintf(env, "label\t%s\nfilesystem\t%s\ninterval\t%s\n", s.Label, s.FS, s.Interval)
+	keys := make([]string, 0, len(s.Environment))
+	for k := range s.Environment {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(env, "%s\t%s\n", k, s.Environment[k])
+	}
+	return nil
+}
+
+// Load reads a result directory written by Save back into a Set.
+func Load(dir string) (*Set, error) {
+	envBytes, err := os.ReadFile(filepath.Join(dir, "environment.txt"))
+	if err != nil {
+		return nil, err
+	}
+	set := NewSet("", "", 100*time.Millisecond)
+	for _, line := range strings.Split(string(envBytes), "\n") {
+		parts := strings.SplitN(line, "\t", 2)
+		if len(parts) != 2 {
+			continue
+		}
+		switch parts[0] {
+		case "label":
+			set.Label = parts[1]
+		case "filesystem":
+			set.FS = parts[1]
+		case "interval":
+			if d, err := time.ParseDuration(parts[1]); err == nil {
+				set.Interval = d
+			}
+		default:
+			set.Environment[parts[0]] = parts[1]
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "results-") || !strings.HasSuffix(name, ".tsv") {
+			continue
+		}
+		// results-<op>-<nodes>-<procs>.tsv
+		parts := strings.Split(strings.TrimSuffix(strings.TrimPrefix(name, "results-"), ".tsv"), "-")
+		if len(parts) < 3 {
+			continue
+		}
+		nodes, err1 := strconv.Atoi(parts[len(parts)-2])
+		procs, err2 := strconv.Atoi(parts[len(parts)-1])
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		ppn := 1
+		if nodes > 0 {
+			ppn = procs / nodes
+			if ppn < 1 {
+				ppn = 1
+			}
+		}
+		m, err := ParseTrace(f, nodes, ppn, set.Interval)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		set.Add(m)
+	}
+	return set, nil
+}

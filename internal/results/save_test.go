@@ -1,0 +1,59 @@
+package results
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := NewSet("roundtrip", "nfs", 100*time.Millisecond)
+	s.Environment["nodes"] = "4"
+	s.Add(paperExample())
+	m2 := paperExample()
+	m2.Op = "MakeFiles"
+	m2.Nodes, m2.PPN = 4, 1
+	for i := range m2.Traces {
+		m2.Traces[i].Op = "MakeFiles"
+	}
+	s.Add(m2)
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"performance.tsv", "environment.txt",
+		"results-StatNocacheFiles-2-4.tsv", "summary-StatNocacheFiles-2-4.tsv",
+		"results-MakeFiles-4-4.tsv",
+	} {
+		if _, err := os.Stat(filepath.Join(dir, want)); err != nil {
+			t.Fatalf("missing %s: %v", want, err)
+		}
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Label != "roundtrip" || got.FS != "nfs" || got.Interval != 100*time.Millisecond {
+		t.Fatalf("set meta = %q %q %v", got.Label, got.FS, got.Interval)
+	}
+	if got.Environment["nodes"] != "4" {
+		t.Fatalf("environment lost: %v", got.Environment)
+	}
+	if len(got.Measurements) != 2 {
+		t.Fatalf("measurements = %d", len(got.Measurements))
+	}
+	orig := s.Find("StatNocacheFiles", 2, 2)
+	loaded := got.Find("StatNocacheFiles", 2, 2)
+	if loaded == nil {
+		t.Fatal("loaded set misses StatNocacheFiles")
+	}
+	if loaded.TotalOps() != orig.TotalOps() {
+		t.Fatalf("ops = %d, want %d", loaded.TotalOps(), orig.TotalOps())
+	}
+	a, b := orig.Averages(), loaded.Averages()
+	if a.Stonewall != b.Stonewall {
+		t.Fatalf("stonewall drifted: %f vs %f", a.Stonewall, b.Stonewall)
+	}
+}

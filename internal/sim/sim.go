@@ -1,0 +1,286 @@
+// Package sim implements a deterministic, cooperative discrete-event
+// simulation kernel.
+//
+// A Kernel owns a virtual clock and a set of processes. Each process is a
+// goroutine, but exactly one process executes at a time: a process runs
+// until it blocks (Sleep, semaphore wait, barrier, queue receive ...) and
+// the kernel then resumes the process with the earliest pending event.
+// Ties are broken by event sequence number, so runs are fully
+// deterministic: the same program produces the same event order and the
+// same virtual timings on every run.
+//
+// The kernel is the substrate for every simulated subsystem in this
+// repository: cluster nodes, networks, storage devices and the file system
+// models are all built from sim processes and sim resources.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is virtual time since the start of the simulation.
+type Time = time.Duration
+
+// event is a scheduled wake-up of a process.
+type event struct {
+	at  Time
+	seq int64
+	p   *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// Kernel is a discrete-event simulation kernel. The zero value is not
+// usable; call New.
+type Kernel struct {
+	now     Time
+	seq     int64
+	queue   eventHeap
+	parked  chan *Proc // handshake: a proc announces it has blocked or exited
+	live    int        // procs started and not yet finished
+	daemons int        // live daemon procs (ignored for termination)
+	blocked int        // procs waiting on a condition (not in queue)
+	rng     *rand.Rand
+	procSeq int
+	halted  bool
+	procs   []*Proc // all spawned procs, for deadlock diagnostics
+}
+
+// New returns a kernel whose random source is seeded with seed.
+func New(seed int64) *Kernel {
+	return &Kernel{
+		parked: make(chan *Proc),
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's deterministic random source. It must only be
+// used from running sim processes (or before Run).
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+func (k *Kernel) nextSeq() int64 {
+	k.seq++
+	return k.seq
+}
+
+// schedule enqueues a wake-up for p at time at (>= now).
+func (k *Kernel) schedule(p *Proc, at Time) {
+	if at < k.now {
+		at = k.now
+	}
+	heap.Push(&k.queue, event{at: at, seq: k.nextSeq(), p: p})
+}
+
+// Proc is a simulated process. Procs are created with Kernel.Spawn or
+// Proc.Spawn and must only call kernel methods while running (i.e. from
+// their own goroutine, between resumptions).
+type Proc struct {
+	k      *Kernel
+	id     int
+	name   string
+	resume chan struct{}
+	done   bool
+	daemon bool
+	// waiters are procs blocked in Join on this proc.
+	waiters []*Proc
+	// blockedOn is a short description of the current blocking reason,
+	// used in deadlock reports.
+	blockedOn string
+}
+
+// ID returns the process id (assigned in spawn order, starting at 1).
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the kernel this process runs on.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Spawn starts fn as a new simulated process scheduled at the current
+// virtual time. It may be called before Run (to create initial processes)
+// or from a running process.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	return k.spawn(name, fn, false)
+}
+
+// SpawnDaemon starts fn as a daemon process: Run and RunFor terminate as
+// soon as no non-daemon processes remain live, regardless of pending
+// daemon events. Background services (consistency-point writers, journal
+// committers, cache flushers) are daemons.
+func (k *Kernel) SpawnDaemon(name string, fn func(p *Proc)) *Proc {
+	return k.spawn(name, fn, true)
+}
+
+func (k *Kernel) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
+	k.procSeq++
+	p := &Proc{k: k, id: k.procSeq, name: name, resume: make(chan struct{}), daemon: daemon}
+	k.live++
+	if daemon {
+		k.daemons++
+	}
+	k.procs = append(k.procs, p)
+	go func() {
+		<-p.resume // wait for first scheduling
+		fn(p)
+		p.done = true
+		k.live--
+		if p.daemon {
+			k.daemons--
+		}
+		for _, w := range p.waiters {
+			w.blockedOn = ""
+			k.blocked--
+			k.schedule(w, k.now)
+		}
+		p.waiters = nil
+		k.parked <- p
+	}()
+	k.schedule(p, k.now)
+	return p
+}
+
+// Spawn starts a child process from a running process.
+func (p *Proc) Spawn(name string, fn func(p *Proc)) *Proc {
+	return p.k.Spawn(name, fn)
+}
+
+// park transfers control back to the kernel and waits to be resumed.
+func (p *Proc) park(reason string) {
+	p.blockedOn = reason
+	p.k.parked <- p
+	<-p.resume
+	p.blockedOn = ""
+}
+
+// Sleep suspends the process for d of virtual time. Negative durations
+// sleep zero time (yield).
+func (p *Proc) Sleep(d Time) {
+	if p.k.halted {
+		panic(ErrHalted)
+	}
+	if d < 0 {
+		d = 0
+	}
+	p.k.schedule(p, p.k.now+d)
+	p.park("sleep")
+}
+
+// Yield reschedules the process at the current time, letting other
+// processes scheduled for the same instant run first.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// block suspends the process without scheduling a wake-up; some other
+// process must call k.wake(p). Used by synchronization primitives.
+func (p *Proc) block(reason string) {
+	p.k.blocked++
+	p.park(reason)
+}
+
+// wake schedules a blocked process to resume at the current time.
+func (k *Kernel) wake(p *Proc) {
+	k.blocked--
+	k.schedule(p, k.now)
+}
+
+// Join blocks until q has finished.
+func (p *Proc) Join(q *Proc) {
+	if q.done {
+		return
+	}
+	q.waiters = append(q.waiters, p)
+	p.block("join:" + q.name)
+}
+
+// ErrHalted is the panic value raised in processes that call Sleep after
+// the kernel stopped.
+var ErrHalted = fmt.Errorf("sim: kernel halted")
+
+// DeadlockError reports the simulation stopping with live, blocked
+// processes and no pending events.
+type DeadlockError struct {
+	Blocked []string // "name (reason)" per blocked proc
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock: %d blocked process(es): %v", len(e.Blocked), e.Blocked)
+}
+
+// Run executes the simulation until no events remain. It returns a
+// *DeadlockError if live processes remain blocked with an empty event
+// queue, and nil otherwise. Run must only be called once.
+func (k *Kernel) Run() error {
+	for k.queue.Len() > 0 && k.live > k.daemons {
+		ev := heap.Pop(&k.queue).(event)
+		if ev.at > k.now {
+			k.now = ev.at
+		}
+		ev.p.resume <- struct{}{}
+		<-k.parked
+	}
+	if k.live > k.daemons {
+		return &DeadlockError{Blocked: k.blockedProcNames()}
+	}
+	return nil
+}
+
+func (k *Kernel) blockedProcNames() []string {
+	var names []string
+	for _, p := range k.procs {
+		if !p.done && !p.daemon && p.blockedOn != "" {
+			names = append(names, fmt.Sprintf("%s (%s)", p.name, p.blockedOn))
+		}
+	}
+	if len(names) == 0 {
+		names = append(names, fmt.Sprintf("%d live (details unavailable)", k.live))
+	}
+	return names
+}
+
+// RunFor executes the simulation until virtual time t or until no events
+// remain, whichever comes first. Processes still runnable when t is
+// reached remain parked; a subsequent Run/RunFor continues them.
+func (k *Kernel) RunFor(t Time) error {
+	for k.queue.Len() > 0 && k.live > k.daemons {
+		if k.queue[0].at > t {
+			k.now = t
+			return nil
+		}
+		ev := heap.Pop(&k.queue).(event)
+		if ev.at > k.now {
+			k.now = ev.at
+		}
+		ev.p.resume <- struct{}{}
+		<-k.parked
+	}
+	if k.live > k.daemons {
+		return &DeadlockError{Blocked: k.blockedProcNames()}
+	}
+	return nil
+}

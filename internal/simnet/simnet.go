@@ -1,0 +1,102 @@
+// Package simnet models the network paths of a distributed file system:
+// propagation latency, bandwidth-limited transfer and server-side thread
+// pools with FIFO queueing.
+//
+// The model is intentionally at RPC granularity — the thesis shows that
+// metadata performance in distributed file systems is dominated by
+// request/response latency and server queueing (§4.6), not by wire
+// details, so a latency + bandwidth + thread-pool abstraction captures
+// the relevant behaviour.
+package simnet
+
+import (
+	"time"
+
+	"dmetabench/internal/sim"
+)
+
+// Server is an RPC service endpoint with a bounded worker thread pool.
+// Requests queue in arrival order when all threads are busy.
+type Server struct {
+	Name    string
+	Threads *sim.Resource
+}
+
+// NewServer returns a server with the given number of worker threads.
+func NewServer(k *sim.Kernel, name string, threads int) *Server {
+	return &Server{Name: name, Threads: sim.NewResource(k, "srv:"+name, threads)}
+}
+
+// Conn is a client's path to a server: one-way latency plus a bandwidth
+// limit shared by all users of the connection.
+type Conn struct {
+	srv *Server
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+	// Bandwidth in bytes per second; 0 means unlimited.
+	Bandwidth int64
+	// wire serializes transfers on this connection when bandwidth-limited.
+	wire *sim.Resource
+}
+
+// NewConn returns a connection to srv with the given one-way latency and
+// bandwidth (bytes/s, 0 = unlimited).
+func NewConn(k *sim.Kernel, srv *Server, latency time.Duration, bandwidth int64) *Conn {
+	c := &Conn{srv: srv, Latency: latency, Bandwidth: bandwidth}
+	if bandwidth > 0 {
+		c.wire = sim.NewResource(k, "wire:"+srv.Name, 1)
+	}
+	return c
+}
+
+// Server returns the connection's endpoint.
+func (c *Conn) Server() *Server { return c.srv }
+
+// transferTime returns the serialization delay for n bytes.
+func (c *Conn) transferTime(n int64) time.Duration {
+	if c.Bandwidth <= 0 || n <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / float64(c.Bandwidth) * float64(time.Second))
+}
+
+// send models moving n bytes across the connection in one direction.
+func (c *Conn) send(p *sim.Proc, n int64) {
+	if c.wire != nil && n > 0 {
+		c.wire.Use(p, c.transferTime(n))
+	}
+	p.Sleep(c.Latency)
+}
+
+// Call performs a synchronous RPC: request transfer and propagation,
+// queueing for a server thread, the caller-supplied service body, then
+// the reply path. service runs while holding a server thread; it charges
+// whatever virtual time the operation costs at the server.
+func (c *Conn) Call(p *sim.Proc, reqBytes, respBytes int64, service func(p *sim.Proc)) {
+	c.send(p, reqBytes)
+	c.srv.Threads.Acquire(p)
+	service(p)
+	c.srv.Threads.Release()
+	c.send(p, respBytes)
+}
+
+// OneWay models a fire-and-forget message (used for asynchronous
+// write-back flushes): the sender pays the transfer cost and the service
+// body runs in a spawned process after the propagation delay.
+func (c *Conn) OneWay(p *sim.Proc, reqBytes int64, service func(p *sim.Proc)) {
+	if c.wire != nil && reqBytes > 0 {
+		c.wire.Use(p, c.transferTime(reqBytes))
+	}
+	lat := c.Latency
+	srv := c.srv
+	p.Spawn("oneway:"+srv.Name, func(q *sim.Proc) {
+		q.Sleep(lat)
+		srv.Threads.Acquire(q)
+		service(q)
+		srv.Threads.Release()
+	})
+}
+
+// RTT returns the request/response round-trip latency of the connection
+// (excluding transfer and service time).
+func (c *Conn) RTT() time.Duration { return 2 * c.Latency }

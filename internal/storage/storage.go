@@ -1,0 +1,218 @@
+// Package storage models the persistent-storage side of file servers:
+// disks with positioning delays, NVRAM-backed write logging with
+// WAFL-style consistency points (§2.7, [HLM02]) and a simpler
+// journal-based store (ldiskfs-style) used by the Lustre MDS model.
+//
+// The consistency-point behaviour matters for the benchmark reproduction:
+// Fig. 4.6 of the thesis shows a saturated NFS/WAFL filer settling into a
+// sawtooth where throughput collapses periodically while the filer writes
+// a consistency point. The model reproduces that shape: metadata
+// operations append cheaply to NVRAM until a consistency point is
+// triggered (half-full NVRAM or a 10 s timer); during the CP, service is
+// slowed by a configurable factor while dirty data drains to disk.
+package storage
+
+import (
+	"time"
+
+	"dmetabench/internal/sim"
+)
+
+// Disk models a spindle: every I/O pays a positioning delay plus
+// size-proportional transfer, serialized per spindle.
+type Disk struct {
+	r        *sim.Resource
+	seek     time.Duration
+	transfer int64 // bytes per second
+}
+
+// NewDisk returns a disk array with the given spindle count, average
+// positioning time and per-spindle transfer rate.
+func NewDisk(k *sim.Kernel, name string, spindles int, seek time.Duration, transfer int64) *Disk {
+	return &Disk{r: sim.NewResource(k, "disk:"+name, spindles), seek: seek, transfer: transfer}
+}
+
+// IO performs one disk I/O of n bytes.
+func (d *Disk) IO(p *sim.Proc, n int64) {
+	t := d.seek
+	if d.transfer > 0 && n > 0 {
+		t += time.Duration(float64(n) / float64(d.transfer) * float64(time.Second))
+	}
+	d.r.Use(p, t)
+}
+
+// WAFLConfig parameterizes a WAFL-style store.
+type WAFLConfig struct {
+	// NVRAMBytes is the size of one NVRAM half (the log fills one half
+	// while the previous half drains in a consistency point).
+	NVRAMBytes int64
+	// CPInterval forces a consistency point at most this long after the
+	// previous one (Data ONTAP uses 10 s).
+	CPInterval time.Duration
+	// CPSlowdown multiplies service times while a CP is active.
+	CPSlowdown float64
+	// DrainRate is the rate (bytes/s) at which a CP writes dirty data.
+	DrainRate int64
+}
+
+// DefaultWAFLConfig mirrors a midrange filer: 512 MB NVRAM halves, 10 s
+// CP timer, 2.2x service-time inflation during a CP.
+func DefaultWAFLConfig() WAFLConfig {
+	return WAFLConfig{
+		NVRAMBytes: 512 << 20,
+		CPInterval: 10 * time.Second,
+		CPSlowdown: 2.2,
+		DrainRate:  400 << 20,
+	}
+}
+
+// WAFL is a write-anywhere store with NVRAM logging and consistency
+// points. One WAFL instance backs one simulated filer.
+type WAFL struct {
+	k   *sim.Kernel
+	cfg WAFLConfig
+
+	dirty     int64 // bytes logged since the last CP began
+	cpActive  bool
+	lastCP    time.Duration
+	cpDone    *sim.Cond
+	numCPs    int
+	snapUntil time.Duration // snapshot jitter window end
+	stopped   bool
+}
+
+// NewWAFL creates the store and starts its consistency-point process.
+func NewWAFL(k *sim.Kernel, name string, cfg WAFLConfig) *WAFL {
+	if cfg.CPSlowdown < 1 {
+		cfg.CPSlowdown = 1
+	}
+	w := &WAFL{
+		k: k, cfg: cfg,
+		cpDone: sim.NewCond(k, "wafl-cpdone:"+name),
+	}
+	k.SpawnDaemon("wafl-cp:"+name, w.cpLoop)
+	return w
+}
+
+// cpLoop triggers consistency points on the NVRAM-half-full condition or
+// the CP timer, whichever comes first.
+func (w *WAFL) cpLoop(p *sim.Proc) {
+	for !w.stopped {
+		// Wait until the timer expires or a kick (half-full) arrives.
+		deadline := w.lastCP + w.cfg.CPInterval
+		for w.k.Now() < deadline && w.dirty < w.cfg.NVRAMBytes && !w.stopped {
+			remain := deadline - w.k.Now()
+			// Sleep in short steps so half-full kicks are honoured
+			// promptly without needing interruptible sleeps.
+			step := remain
+			if step > 100*time.Millisecond {
+				step = 100 * time.Millisecond
+			}
+			p.Sleep(step)
+		}
+		if w.stopped {
+			return
+		}
+		if w.dirty == 0 {
+			w.lastCP = w.k.Now()
+			continue
+		}
+		w.runCP(p)
+	}
+}
+
+// runCP drains the dirty data at the configured rate.
+func (w *WAFL) runCP(p *sim.Proc) {
+	w.cpActive = true
+	w.numCPs++
+	drainable := w.dirty
+	w.dirty = 0 // new writes log into the other NVRAM half
+	dur := time.Duration(float64(drainable) / float64(w.cfg.DrainRate) * float64(time.Second))
+	p.Sleep(dur)
+	w.cpActive = false
+	w.lastCP = w.k.Now()
+	w.cpDone.Broadcast()
+}
+
+// LogMetadata appends n bytes of metadata change to the NVRAM log. If the
+// incoming half is itself full (back-to-back CP), the caller blocks until
+// the active CP finishes.
+func (w *WAFL) LogMetadata(p *sim.Proc, n int64) {
+	for w.cpActive && w.dirty >= w.cfg.NVRAMBytes {
+		w.cpDone.Wait(p)
+	}
+	w.dirty += n
+}
+
+// ServiceFactor returns the current service-time multiplier: >1 while a
+// consistency point is running or a snapshot is being created.
+func (w *WAFL) ServiceFactor() float64 {
+	f := 1.0
+	if w.cpActive {
+		f = w.cfg.CPSlowdown
+	}
+	if w.k.Now() < w.snapUntil {
+		// Snapshot creation adds erratic overhead (Fig. 4.5): a mild
+		// uniform tax plus sporadic long stalls that hit requests — and
+		// therefore client processes — unevenly, which is what makes
+		// the COV rise "in a much more random manner" than a steady
+		// per-node disturbance.
+		f *= 1.2
+		if w.k.Rand().Float64() < 0.012 {
+			f *= 150 + 450*w.k.Rand().Float64()
+		}
+	}
+	return f
+}
+
+// CPActive reports whether a consistency point is currently running.
+func (w *WAFL) CPActive() bool { return w.cpActive }
+
+// NumCPs returns the number of completed consistency points.
+func (w *WAFL) NumCPs() int { return w.numCPs }
+
+// TriggerSnapshots opens a window of duration d during which service
+// times are randomly inflated, modelling snapshot creation load (§4.2.3,
+// Fig. 4.5).
+func (w *WAFL) TriggerSnapshots(d time.Duration) {
+	w.snapUntil = w.k.Now() + d
+}
+
+// Stop terminates the background CP process after its current wait.
+func (w *WAFL) Stop() { w.stopped = true }
+
+// Journal models a journaling local file system (ldiskfs/ext3-style) used
+// by metadata servers: metadata updates append to a journal with a group
+// commit every CommitInterval; synchronous requests pay the commit wait.
+type Journal struct {
+	k              *sim.Kernel
+	disk           *Disk
+	CommitInterval time.Duration
+	pending        int64
+	commits        int
+}
+
+// NewJournal returns a journal flushing to disk every interval.
+func NewJournal(k *sim.Kernel, name string, disk *Disk, interval time.Duration) *Journal {
+	j := &Journal{k: k, disk: disk, CommitInterval: interval}
+	k.SpawnDaemon("journal:"+name, j.commitLoop)
+	return j
+}
+
+func (j *Journal) commitLoop(p *sim.Proc) {
+	for {
+		p.Sleep(j.CommitInterval)
+		if j.pending > 0 {
+			n := j.pending
+			j.pending = 0
+			j.commits++
+			j.disk.IO(p, n)
+		}
+	}
+}
+
+// Log appends n bytes of journal records (asynchronous).
+func (j *Journal) Log(n int64) { j.pending += n }
+
+// Commits returns the number of group commits performed.
+func (j *Journal) Commits() int { return j.commits }

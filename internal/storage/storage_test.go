@@ -1,0 +1,142 @@
+package storage
+
+import (
+	"testing"
+	"time"
+
+	"dmetabench/internal/sim"
+)
+
+func TestDiskIO(t *testing.T) {
+	k := sim.New(1)
+	d := NewDisk(k, "d", 1, 5*time.Millisecond, 100<<20)
+	var elapsed time.Duration
+	k.Spawn("io", func(p *sim.Proc) {
+		start := p.Now()
+		d.IO(p, 10<<20) // 10 MB at 100 MB/s = 100ms + 5ms seek
+		elapsed = p.Now() - start
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed != 105*time.Millisecond {
+		t.Fatalf("IO took %v, want 105ms", elapsed)
+	}
+}
+
+func TestDiskSpindlesSerialize(t *testing.T) {
+	k := sim.New(1)
+	d := NewDisk(k, "d", 2, time.Millisecond, 0)
+	for i := 0; i < 6; i++ {
+		k.Spawn("io", func(p *sim.Proc) { d.IO(p, 0) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if k.Now() != 3*time.Millisecond {
+		t.Fatalf("6 IOs on 2 spindles took %v, want 3ms", k.Now())
+	}
+}
+
+func TestWAFLTimerCP(t *testing.T) {
+	k := sim.New(1)
+	cfg := WAFLConfig{
+		NVRAMBytes: 1 << 30,
+		CPInterval: 10 * time.Second,
+		CPSlowdown: 2.0,
+		DrainRate:  100 << 20,
+	}
+	w := NewWAFL(k, "t", cfg)
+	var sawCP bool
+	k.Spawn("load", func(p *sim.Proc) {
+		for p.Now() < 25*time.Second {
+			w.LogMetadata(p, 1<<20)
+			if w.CPActive() {
+				sawCP = true
+				if f := w.ServiceFactor(); f != 2.0 {
+					t.Errorf("service factor during CP = %f", f)
+				}
+			}
+			p.Sleep(10 * time.Millisecond)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawCP {
+		t.Fatal("no consistency point observed in 25s")
+	}
+	if w.NumCPs() < 2 {
+		t.Fatalf("CPs = %d, want >= 2 over 25s with 10s timer", w.NumCPs())
+	}
+}
+
+func TestWAFLHalfFullCP(t *testing.T) {
+	k := sim.New(1)
+	cfg := WAFLConfig{
+		NVRAMBytes: 10 << 20,  // tiny: forces half-full CPs
+		CPInterval: time.Hour, // timer effectively off
+		CPSlowdown: 2.0,
+		DrainRate:  100 << 20,
+	}
+	w := NewWAFL(k, "t", cfg)
+	k.Spawn("load", func(p *sim.Proc) {
+		for i := 0; i < 40; i++ {
+			w.LogMetadata(p, 1<<20)
+			p.Sleep(time.Millisecond)
+		}
+		// Give the CP loop time to notice.
+		p.Sleep(500 * time.Millisecond)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if w.NumCPs() < 1 {
+		t.Fatal("no half-full CP despite 40MB into 10MB NVRAM half")
+	}
+}
+
+func TestWAFLSnapshotJitter(t *testing.T) {
+	k := sim.New(1)
+	w := NewWAFL(k, "t", DefaultWAFLConfig())
+	var base, during float64
+	k.Spawn("probe", func(p *sim.Proc) {
+		base = w.ServiceFactor()
+		w.TriggerSnapshots(5 * time.Second)
+		max := 0.0
+		for i := 0; i < 1000; i++ {
+			if f := w.ServiceFactor(); f > max {
+				max = f
+			}
+		}
+		during = max
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if base != 1.0 {
+		t.Fatalf("idle service factor = %f", base)
+	}
+	if during < 10 {
+		t.Fatalf("snapshot window max factor = %f, want occasional large stalls", during)
+	}
+}
+
+func TestJournalGroupCommit(t *testing.T) {
+	k := sim.New(1)
+	d := NewDisk(k, "d", 1, time.Millisecond, 100<<20)
+	j := NewJournal(k, "j", d, 100*time.Millisecond)
+	k.Spawn("load", func(p *sim.Proc) {
+		for i := 0; i < 50; i++ {
+			j.Log(512)
+			p.Sleep(10 * time.Millisecond)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 500ms of logging with 100ms commits: ~5 commits, not 50.
+	if c := j.Commits(); c < 3 || c > 8 {
+		t.Fatalf("commits = %d, want grouped (~5)", c)
+	}
+}

@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"dmetabench/internal/fs"
+)
+
+// Andrew is the compilation-workload macro benchmark of the original AFS
+// evaluation (§3.1.1): make a directory tree, populate it with source
+// files, stat everything ("MakeDir / Copy / ScanDir / ReadAll" phases),
+// and finally clean up. One run is one Load Unit; the phase timings show
+// which metadata operations dominate a build-like workload.
+type AndrewConfig struct {
+	// Dirs and FilesPerDir define the source tree.
+	Dirs        int
+	FilesPerDir int
+	// FileBytes is the size of each copied source file.
+	FileBytes int64
+	// ScanPasses repeats the stat-everything phase (builds stat files
+	// far more often than they read them).
+	ScanPasses int
+}
+
+// DefaultAndrewConfig sizes one load unit like the original script.
+func DefaultAndrewConfig() AndrewConfig {
+	return AndrewConfig{Dirs: 20, FilesPerDir: 20, FileBytes: 4096, ScanPasses: 2}
+}
+
+// AndrewTimings reports per-phase durations of one load unit.
+type AndrewTimings struct {
+	MakeDir time.Duration
+	Copy    time.Duration
+	ScanDir time.Duration
+	ReadAll time.Duration
+	Remove  time.Duration
+	Total   time.Duration
+}
+
+// Andrew runs one load unit under root. now supplies the clock.
+func Andrew(c fs.Client, root string, cfg AndrewConfig, now func() time.Duration) (AndrewTimings, error) {
+	var t AndrewTimings
+	begin := now()
+	dir := func(i int) string { return fmt.Sprintf("%s/dir%d", root, i) }
+	file := func(i, j int) string { return fmt.Sprintf("%s/f%d.c", dir(i), j) }
+
+	// Phase 1: MakeDir.
+	start := now()
+	if err := c.Mkdir(root); err != nil && !fs.IsExist(err) {
+		return t, err
+	}
+	for i := 0; i < cfg.Dirs; i++ {
+		if err := c.Mkdir(dir(i)); err != nil && !fs.IsExist(err) {
+			return t, err
+		}
+	}
+	t.MakeDir = now() - start
+
+	// Phase 2: Copy (create + write every source file).
+	start = now()
+	for i := 0; i < cfg.Dirs; i++ {
+		for j := 0; j < cfg.FilesPerDir; j++ {
+			if err := c.Create(file(i, j)); err != nil {
+				return t, err
+			}
+			h, err := c.Open(file(i, j))
+			if err != nil {
+				return t, err
+			}
+			if err := c.Write(h, cfg.FileBytes); err != nil {
+				return t, err
+			}
+			if err := c.Close(h); err != nil {
+				return t, err
+			}
+		}
+	}
+	t.Copy = now() - start
+
+	// Phase 3: ScanDir (readdir + stat every entry, repeatedly).
+	start = now()
+	for pass := 0; pass < cfg.ScanPasses; pass++ {
+		for i := 0; i < cfg.Dirs; i++ {
+			ents, err := c.ReadDir(dir(i))
+			if err != nil {
+				return t, err
+			}
+			for _, e := range ents {
+				if _, err := c.Stat(dir(i) + "/" + e.Name); err != nil {
+					return t, err
+				}
+			}
+		}
+	}
+	t.ScanDir = now() - start
+
+	// Phase 4: ReadAll (open/close every file, like reading sources).
+	start = now()
+	for i := 0; i < cfg.Dirs; i++ {
+		for j := 0; j < cfg.FilesPerDir; j++ {
+			h, err := c.Open(file(i, j))
+			if err != nil {
+				return t, err
+			}
+			if err := c.Close(h); err != nil {
+				return t, err
+			}
+		}
+	}
+	t.ReadAll = now() - start
+
+	// Phase 5: Remove the tree.
+	start = now()
+	for i := 0; i < cfg.Dirs; i++ {
+		for j := 0; j < cfg.FilesPerDir; j++ {
+			if err := c.Unlink(file(i, j)); err != nil {
+				return t, err
+			}
+		}
+		if err := c.Rmdir(dir(i)); err != nil {
+			return t, err
+		}
+	}
+	if err := c.Rmdir(root); err != nil {
+		return t, err
+	}
+	t.Remove = now() - start
+	t.Total = now() - begin
+	return t, nil
+}

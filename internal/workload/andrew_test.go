@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"testing"
+
+	"dmetabench/internal/cluster"
+	"dmetabench/internal/lustre"
+	"dmetabench/internal/nfs"
+	"dmetabench/internal/sim"
+)
+
+func TestAndrewOnNFS(t *testing.T) {
+	k := sim.New(1)
+	cl := cluster.New(k, cluster.DefaultConfig(1))
+	fsys := nfs.New(k, "home", nfs.DefaultConfig())
+	var tm AndrewTimings
+	var err error
+	k.Spawn("andrew", func(p *sim.Proc) {
+		c := fsys.NewClient(cl.Nodes[0], p)
+		tm, err = Andrew(c, "/andrew", DefaultAndrewConfig(), p.Now)
+	})
+	if kerr := k.Run(); kerr != nil {
+		t.Fatal(kerr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, d := range map[string]int64{
+		"MakeDir": int64(tm.MakeDir), "Copy": int64(tm.Copy),
+		"ScanDir": int64(tm.ScanDir), "ReadAll": int64(tm.ReadAll),
+		"Remove": int64(tm.Remove),
+	} {
+		if d <= 0 {
+			t.Fatalf("phase %s has no duration", name)
+		}
+	}
+	// Copy dominates ScanDir: creates are synchronous RPCs while scans
+	// hit warm caches — the load-unit shape of the original benchmark.
+	if tm.Copy < tm.ScanDir {
+		t.Fatalf("copy %v < scandir %v", tm.Copy, tm.ScanDir)
+	}
+	if tm.Total < tm.Copy+tm.Remove {
+		t.Fatalf("total %v inconsistent", tm.Total)
+	}
+	// The tree is gone.
+	if n := fsys.Namespace().NumFiles(); n != 0 {
+		t.Fatalf("files left: %d", n)
+	}
+}
+
+func TestAndrewLoadUnitsComparable(t *testing.T) {
+	// One load unit on NFS vs Lustre: both complete, NFS faster on the
+	// metadata-heavy phases (the §4.3 shape).
+	measure := func(mkNFS bool) AndrewTimings {
+		k := sim.New(2)
+		cl := cluster.New(k, cluster.DefaultConfig(1))
+		var tm AndrewTimings
+		k.Spawn("andrew", func(p *sim.Proc) {
+			if mkNFS {
+				c := nfs.New(k, "home", nfs.DefaultConfig()).NewClient(cl.Nodes[0], p)
+				tm, _ = Andrew(c, "/a", DefaultAndrewConfig(), p.Now)
+			} else {
+				c := lustre.New(k, "scratch", lustre.DefaultConfig()).NewClient(cl.Nodes[0], p)
+				tm, _ = Andrew(c, "/a", DefaultAndrewConfig(), p.Now)
+			}
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return tm
+	}
+	nfsT, lusT := measure(true), measure(false)
+	if nfsT.Copy >= lusT.Copy {
+		t.Fatalf("NFS copy %v should beat Lustre %v", nfsT.Copy, lusT.Copy)
+	}
+}

@@ -1,0 +1,270 @@
+// Package workload provides metadata-relevant workload generators and
+// the baseline benchmarks Chapter 3 positions DMetabench against: a
+// Postmark-style mail-server macro-benchmark (§3.1.4) and a
+// fileops-style single-process micro-benchmark (§3.1.6), both running on
+// any fs.Client (simulated or real). File sizes follow the log-normal
+// shape observed by Agrawal et al. (§2.8.2).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"dmetabench/internal/fs"
+)
+
+// SizeDist is a log-normal file size distribution.
+type SizeDist struct {
+	// MedianBytes is the distribution median (the log-normal location).
+	MedianBytes float64
+	// Sigma is the log-space standard deviation.
+	Sigma float64
+	// MaxBytes clips the tail (0 = unclipped).
+	MaxBytes int64
+}
+
+// AgrawalYear returns the approximate file size distribution of the
+// Microsoft study for the given year: the 2000 dataset had a 108 kB mean,
+// the 2004 one 189 kB, with medians near 4 kB — a heavy log-normal tail.
+func AgrawalYear(year int) SizeDist {
+	switch {
+	case year <= 2000:
+		return SizeDist{MedianBytes: 3 << 10, Sigma: 2.55, MaxBytes: 1 << 31}
+	case year >= 2004:
+		return SizeDist{MedianBytes: 4 << 10, Sigma: 2.65, MaxBytes: 1 << 32}
+	default:
+		return SizeDist{MedianBytes: 3500, Sigma: 2.6, MaxBytes: 1 << 31}
+	}
+}
+
+// Sample draws one file size.
+func (d SizeDist) Sample(rng *rand.Rand) int64 {
+	v := math.Exp(math.Log(d.MedianBytes) + d.Sigma*rng.NormFloat64())
+	n := int64(v)
+	if n < 0 {
+		n = 0
+	}
+	if d.MaxBytes > 0 && n > d.MaxBytes {
+		n = d.MaxBytes
+	}
+	return n
+}
+
+// Mean returns the analytic mean of the (unclipped) distribution.
+func (d SizeDist) Mean() float64 {
+	return d.MedianBytes * math.Exp(d.Sigma*d.Sigma/2)
+}
+
+// PostmarkConfig parameterizes the mail-server macro-benchmark.
+type PostmarkConfig struct {
+	Files        int
+	Subdirs      int
+	Transactions int
+	// ReadBias is the probability that a transaction reads instead of
+	// appends; CreateBias the probability that it creates instead of
+	// deletes.
+	ReadBias   float64
+	CreateBias float64
+	Sizes      SizeDist
+	Seed       int64
+}
+
+// DefaultPostmarkConfig mirrors the published Postmark defaults scaled to
+// benchmark duration.
+func DefaultPostmarkConfig() PostmarkConfig {
+	return PostmarkConfig{
+		Files:        500,
+		Subdirs:      10,
+		Transactions: 2000,
+		ReadBias:     0.5,
+		CreateBias:   0.5,
+		Sizes:        SizeDist{MedianBytes: 2048, Sigma: 1.0, MaxBytes: 64 << 10},
+		Seed:         42,
+	}
+}
+
+// PostmarkStats reports a Postmark run.
+type PostmarkStats struct {
+	Created, Deleted, Read, Appended int
+	Transactions                     int
+	Elapsed                          time.Duration
+	TPS                              float64
+}
+
+// Postmark runs the three Postmark phases (create, transactions, delete)
+// on the client; now supplies the clock (virtual or real). The benchmark
+// is single-threaded by design — the thesis criticizes exactly this
+// limitation (§3.1.4).
+func Postmark(c fs.Client, cfg PostmarkConfig, now func() time.Duration) (PostmarkStats, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var st PostmarkStats
+	if err := c.Mkdir("/postmark"); err != nil && !fs.IsExist(err) {
+		return st, err
+	}
+	for i := 0; i < cfg.Subdirs; i++ {
+		if err := c.Mkdir(dirName(i)); err != nil && !fs.IsExist(err) {
+			return st, err
+		}
+	}
+	live := make(map[int]bool, cfg.Files)
+	nextID := 0
+	createOne := func() error {
+		id := nextID
+		nextID++
+		name := fileName(id, cfg.Subdirs)
+		if err := c.Create(name); err != nil {
+			return err
+		}
+		h, err := c.Open(name)
+		if err != nil {
+			return err
+		}
+		if err := c.Write(h, cfg.Sizes.Sample(rng)); err != nil {
+			return err
+		}
+		if err := c.Close(h); err != nil {
+			return err
+		}
+		live[id] = true
+		st.Created++
+		return nil
+	}
+	pick := func() (int, bool) {
+		if len(live) == 0 {
+			return 0, false
+		}
+		n := rng.Intn(len(live))
+		for id := range live {
+			if n == 0 {
+				return id, true
+			}
+			n--
+		}
+		return 0, false
+	}
+
+	// Phase 1: populate.
+	for i := 0; i < cfg.Files; i++ {
+		if err := createOne(); err != nil {
+			return st, err
+		}
+	}
+	// Phase 2: transactions.
+	start := now()
+	for i := 0; i < cfg.Transactions; i++ {
+		if rng.Float64() < cfg.ReadBias {
+			if id, ok := pick(); ok {
+				if _, err := c.Stat(fileName(id, cfg.Subdirs)); err != nil {
+					return st, err
+				}
+				st.Read++
+			}
+		} else {
+			if id, ok := pick(); ok {
+				h, err := c.Open(fileName(id, cfg.Subdirs))
+				if err != nil {
+					return st, err
+				}
+				c.Write(h, cfg.Sizes.Sample(rng)/4)
+				if err := c.Close(h); err != nil {
+					return st, err
+				}
+				st.Appended++
+			}
+		}
+		if rng.Float64() < cfg.CreateBias {
+			if err := createOne(); err != nil {
+				return st, err
+			}
+		} else if id, ok := pick(); ok {
+			if err := c.Unlink(fileName(id, cfg.Subdirs)); err != nil {
+				return st, err
+			}
+			delete(live, id)
+			st.Deleted++
+		}
+		st.Transactions++
+	}
+	st.Elapsed = now() - start
+	if s := st.Elapsed.Seconds(); s > 0 {
+		st.TPS = float64(st.Transactions) / s
+	}
+	// Phase 3: delete everything.
+	for id := range live {
+		if err := c.Unlink(fileName(id, cfg.Subdirs)); err != nil {
+			return st, err
+		}
+		st.Deleted++
+	}
+	for i := 0; i < cfg.Subdirs; i++ {
+		if err := c.Rmdir(dirName(i)); err != nil {
+			return st, err
+		}
+	}
+	if err := c.Rmdir("/postmark"); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+func dirName(i int) string { return fmt.Sprintf("/postmark/s%d", i) }
+
+func fileName(id, subdirs int) string {
+	return fmt.Sprintf("%s/f%d", dirName(id%subdirs), id)
+}
+
+// FileopsResult holds per-operation latencies measured by the fileops
+// micro-benchmark.
+type FileopsResult map[fs.OpKind]time.Duration
+
+// Fileops measures the mean latency of each basic metadata operation with
+// a single process over n files, like the IOzone fileops tool (§3.1.6).
+func Fileops(c fs.Client, n int, now func() time.Duration) (FileopsResult, error) {
+	res := make(FileopsResult)
+	if err := c.Mkdir("/fileops"); err != nil && !fs.IsExist(err) {
+		return nil, err
+	}
+	name := func(i int) string { return fmt.Sprintf("/fileops/f%d", i) }
+	measure := func(kind fs.OpKind, op func(i int) error) error {
+		start := now()
+		for i := 0; i < n; i++ {
+			if err := op(i); err != nil {
+				return err
+			}
+		}
+		res[kind] = (now() - start) / time.Duration(n)
+		return nil
+	}
+	if err := measure(fs.OpCreate, func(i int) error { return c.Create(name(i)) }); err != nil {
+		return nil, err
+	}
+	if err := measure(fs.OpStat, func(i int) error {
+		_, err := c.Stat(name(i))
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if err := measure(fs.OpOpen, func(i int) error {
+		h, err := c.Open(name(i))
+		if err != nil {
+			return err
+		}
+		return c.Close(h)
+	}); err != nil {
+		return nil, err
+	}
+	if err := measure(fs.OpRename, func(i int) error {
+		return c.Rename(name(i), name(i)+"r")
+	}); err != nil {
+		return nil, err
+	}
+	if err := measure(fs.OpUnlink, func(i int) error { return c.Unlink(name(i) + "r") }); err != nil {
+		return nil, err
+	}
+	if err := c.Rmdir("/fileops"); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"dmetabench/internal/cluster"
+	"dmetabench/internal/fs"
+	"dmetabench/internal/localfs"
+	"dmetabench/internal/nfs"
+	"dmetabench/internal/sim"
+)
+
+func TestSizeDistShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := AgrawalYear(2004)
+	const n = 200000
+	var sum float64
+	small := 0
+	for i := 0; i < n; i++ {
+		v := d.Sample(rng)
+		if v < 0 {
+			t.Fatal("negative size")
+		}
+		if v <= 16<<10 {
+			small++
+		}
+		sum += float64(v)
+	}
+	mean := sum / n
+	// The 2004 study: mean ~189 kB with most files small. The clipped
+	// sample mean lands in the same order of magnitude.
+	if mean < 50<<10 || mean > 1<<20 {
+		t.Fatalf("sample mean = %.0f bytes, want ~1e5..1e6", mean)
+	}
+	// Median ~4 kB: most files are small even though the mean is huge.
+	if frac := float64(small) / n; frac < 0.6 {
+		t.Fatalf("only %.2f of files <= 16kB; distribution not skewed", frac)
+	}
+	if a := d.Mean(); math.IsNaN(a) || a <= float64(d.MedianBytes) {
+		t.Fatalf("analytic mean %f must exceed median", a)
+	}
+	if y := AgrawalYear(2000); y.Mean() >= d.Mean() {
+		t.Fatalf("2000 mean (%f) should be below 2004 (%f)", y.Mean(), d.Mean())
+	}
+}
+
+func TestPostmarkOnSimNFS(t *testing.T) {
+	k := sim.New(1)
+	cl := cluster.New(k, cluster.DefaultConfig(1))
+	fsys := nfs.New(k, "home", nfs.DefaultConfig())
+	cfg := DefaultPostmarkConfig()
+	cfg.Files = 100
+	cfg.Transactions = 300
+	var st PostmarkStats
+	var err error
+	k.Spawn("postmark", func(p *sim.Proc) {
+		c := fsys.NewClient(cl.Nodes[0], p)
+		st, err = Postmark(c, cfg, p.Now)
+	})
+	if kerr := k.Run(); kerr != nil {
+		t.Fatal(kerr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Transactions != 300 {
+		t.Fatalf("transactions = %d", st.Transactions)
+	}
+	if st.TPS <= 0 {
+		t.Fatalf("tps = %f", st.TPS)
+	}
+	if st.Created == 0 || st.Deleted == 0 || st.Read == 0 || st.Appended == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Everything deleted: the namespace holds only the root again.
+	if n := fsys.Namespace().NumFiles(); n != 0 {
+		t.Fatalf("files left: %d", n)
+	}
+	if n := fsys.Namespace().NumDirs(); n != 1 {
+		t.Fatalf("dirs left: %d", n)
+	}
+}
+
+func TestPostmarkDeterministic(t *testing.T) {
+	run := func() PostmarkStats {
+		k := sim.New(5)
+		cl := cluster.New(k, cluster.DefaultConfig(1))
+		fsys := localfs.New(k, cl.Nodes[0], localfs.DefaultConfig())
+		cfg := DefaultPostmarkConfig()
+		cfg.Files = 50
+		cfg.Transactions = 200
+		var st PostmarkStats
+		k.Spawn("pm", func(p *sim.Proc) {
+			c := fsys.NewClient(cl.Nodes[0], p)
+			st, _ = Postmark(c, cfg, p.Now)
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("postmark not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestFileopsLatencies(t *testing.T) {
+	k := sim.New(2)
+	cl := cluster.New(k, cluster.DefaultConfig(1))
+	fsys := nfs.New(k, "home", nfs.DefaultConfig())
+	var res FileopsResult
+	var err error
+	k.Spawn("fileops", func(p *sim.Proc) {
+		c := fsys.NewClient(cl.Nodes[0], p)
+		res, err = Fileops(c, 200, p.Now)
+	})
+	if kerr := k.Run(); kerr != nil {
+		t.Fatal(kerr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []fs.OpKind{fs.OpCreate, fs.OpStat, fs.OpOpen, fs.OpRename, fs.OpUnlink} {
+		if res[kind] <= 0 {
+			t.Fatalf("%v latency missing", kind)
+		}
+	}
+	// Cached stat must be far cheaper than a create round trip.
+	if res[fs.OpStat]*10 > res[fs.OpCreate] {
+		t.Fatalf("stat %v vs create %v: cache not effective", res[fs.OpStat], res[fs.OpCreate])
+	}
+	// Rename and unlink are synchronous RPCs: at least one RTT.
+	if res[fs.OpRename] < 500*time.Microsecond {
+		t.Fatalf("rename latency %v below RTT", res[fs.OpRename])
+	}
+}
