@@ -1,0 +1,3 @@
+module dmetabench
+
+go 1.24

@@ -228,11 +228,11 @@ func (c *client) modify(op, p string, svc time.Duration, apply func(sp *sim.Proc
 	if err != nil {
 		return err
 	}
-	imutex := c.node.DirLock(path.Dir(p))
+	imutex := c.node.DirLock(fs.ParentDir(p))
 	imutex.Lock(c.p)
 	defer imutex.Unlock()
 	f.conn(c.node, v.server).Call(c.p, 200, 160, func(sp *sim.Proc) {
-		if dir, lerr := v.ns.Lookup(path.Dir(sub)); lerr == nil {
+		if dir, lerr := v.ns.Lookup(fs.ParentDir(sub)); lerr == nil {
 			lock := v.dirLock(f.k, dir.Ino)
 			lock.Lock(sp)
 			defer lock.Unlock()

@@ -10,7 +10,7 @@
 package core
 
 import (
-	"fmt"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -173,5 +173,34 @@ func RemoveAll(c fs.Client, p string) error {
 	return c.Rmdir(p)
 }
 
-// fileName returns the canonical test file name for index i.
-func fileName(dir string, i int) string { return fmt.Sprintf("%s/%d", dir, i) }
+// fileName returns the canonical test file name for index i. It is the
+// innermost call of every per-operation loop, so it builds the path with
+// a single sized allocation instead of fmt.Sprintf.
+func fileName(dir string, i int) string {
+	b := make([]byte, 0, len(dir)+12)
+	b = append(b, dir...)
+	b = append(b, '/')
+	b = strconv.AppendInt(b, int64(i), 10)
+	return string(b)
+}
+
+// subDirName returns the per-ProblemSize subdirectory dir/s<n>.
+func subDirName(dir string, n int) string {
+	b := make([]byte, 0, len(dir)+13)
+	b = append(b, dir...)
+	b = append(b, '/', 's')
+	b = strconv.AppendInt(b, int64(n), 10)
+	return string(b)
+}
+
+// rankFileName returns the rank-partitioned file name dir/r<rank>-<i>
+// used by shared-directory workloads.
+func rankFileName(dir string, rank, i int) string {
+	b := make([]byte, 0, len(dir)+24)
+	b = append(b, dir...)
+	b = append(b, '/', 'r')
+	b = strconv.AppendInt(b, int64(rank), 10)
+	b = append(b, '-')
+	b = strconv.AppendInt(b, int64(i), 10)
+	return string(b)
+}

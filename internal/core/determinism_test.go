@@ -1,0 +1,99 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"dmetabench/internal/cluster"
+	"dmetabench/internal/lustre"
+	"dmetabench/internal/nfs"
+	"dmetabench/internal/sim"
+)
+
+// runAndSave executes one canonical Runner experiment with the given seed
+// and returns the serialized result set as a map of file name to content.
+func runAndSave(t *testing.T, seed int64, wb bool) map[string]string {
+	t.Helper()
+	k := sim.New(seed)
+	cl := cluster.New(k, cluster.DefaultConfig(2))
+	var r *Runner
+	if wb {
+		cfg := lustre.DefaultConfig()
+		cfg.Writeback = true
+		r = &Runner{
+			Cluster:      cl,
+			FS:           lustre.New(k, "scratch", cfg),
+			Params:       Params{ProblemSize: 400, WorkDir: "/bench"},
+			SlotsPerNode: 2,
+			Plugins:      []Plugin{MakeFiles{}},
+		}
+	} else {
+		r = &Runner{
+			Cluster: cl,
+			FS:      nfs.New(k, "home", nfs.DefaultConfig()),
+			Params: Params{ProblemSize: 300, WorkDir: "/bench",
+				TimeLimit: time.Second, Interval: 100 * time.Millisecond},
+			SlotsPerNode:     2,
+			Plugins:          []Plugin{MakeFiles{}, StatFiles{}, DeleteFiles{}},
+			CollectLatencies: true,
+		}
+	}
+	set, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := set.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	files := make(map[string]string)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[e.Name()] = string(b)
+	}
+	return files
+}
+
+// TestRunnerDeterministic is the safety net for the event-kernel fast
+// paths: two runs with the same seed must produce byte-identical
+// serialized result sets — identical traces, identical interval
+// sampling, identical environment. It covers both the synchronous NFS
+// model and the Lustre write-back model (daemon flushers, queues,
+// semaphore windows exercise every scheduling primitive).
+func TestRunnerDeterministic(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		wb   bool
+	}{
+		{"nfs-timed", false},
+		{"lustre-writeback", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			a := runAndSave(t, 77, tc.wb)
+			b := runAndSave(t, 77, tc.wb)
+			if len(a) != len(b) {
+				t.Fatalf("file counts differ: %d vs %d", len(a), len(b))
+			}
+			names := make([]string, 0, len(a))
+			for n := range a {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				if a[n] != b[n] {
+					t.Errorf("%s differs between identically-seeded runs", n)
+				}
+			}
+		})
+	}
+}

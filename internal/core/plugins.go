@@ -29,7 +29,7 @@ func (MakeFiles) DoBench(c *Ctx) error {
 		limit = 5000
 	}
 	sub := 0
-	dir := fmt.Sprintf("%s/s%d", c.Dir, sub)
+	dir := subDirName(c.Dir, sub)
 	if err := c.FS.Mkdir(dir); err != nil && !fs.IsExist(err) {
 		return err
 	}
@@ -43,7 +43,7 @@ func (MakeFiles) DoBench(c *Ctx) error {
 		}
 		if i > 0 && i%limit == 0 {
 			sub++
-			dir = fmt.Sprintf("%s/s%d", c.Dir, sub)
+			dir = subDirName(c.Dir, sub)
 			if err := c.FS.Mkdir(dir); err != nil && !fs.IsExist(err) {
 				return err
 			}
@@ -78,7 +78,7 @@ func (m MakeFilesSized) DoBench(c *Ctx) error {
 		limit = 5000
 	}
 	sub := 0
-	dir := fmt.Sprintf("%s/s%d", c.Dir, sub)
+	dir := subDirName(c.Dir, sub)
 	if err := c.FS.Mkdir(dir); err != nil && !fs.IsExist(err) {
 		return err
 	}
@@ -92,7 +92,7 @@ func (m MakeFilesSized) DoBench(c *Ctx) error {
 		}
 		if i > 0 && i%limit == 0 {
 			sub++
-			dir = fmt.Sprintf("%s/s%d", c.Dir, sub)
+			dir = subDirName(c.Dir, sub)
 			if err := c.FS.Mkdir(dir); err != nil && !fs.IsExist(err) {
 				return err
 			}
@@ -138,7 +138,7 @@ func (MakeOnedirFiles) DoBench(c *Ctx) error {
 	n := c.Params.ProblemSize / c.Workers
 	dir := onedir(c)
 	for i := 0; i < n; i++ {
-		if err := c.FS.Create(fmt.Sprintf("%s/r%d-%d", dir, c.Rank, i)); err != nil {
+		if err := c.FS.Create(rankFileName(dir, c.Rank, i)); err != nil {
 			return err
 		}
 		c.Tick()
@@ -151,7 +151,7 @@ func (MakeOnedirFiles) Cleanup(c *Ctx) error {
 	n := c.Params.ProblemSize / c.Workers
 	dir := onedir(c)
 	for i := 0; i < n; i++ {
-		if err := c.FS.Unlink(fmt.Sprintf("%s/r%d-%d", dir, c.Rank, i)); err != nil && !fs.IsNotExist(err) {
+		if err := c.FS.Unlink(rankFileName(dir, c.Rank, i)); err != nil && !fs.IsNotExist(err) {
 			return err
 		}
 	}
@@ -174,7 +174,7 @@ func (MakeDirs) DoBench(c *Ctx) error {
 		limit = 5000
 	}
 	sub := 0
-	dir := fmt.Sprintf("%s/s%d", c.Dir, sub)
+	dir := subDirName(c.Dir, sub)
 	if err := c.FS.Mkdir(dir); err != nil && !fs.IsExist(err) {
 		return err
 	}
@@ -188,7 +188,7 @@ func (MakeDirs) DoBench(c *Ctx) error {
 		}
 		if i > 0 && i%limit == 0 {
 			sub++
-			dir = fmt.Sprintf("%s/s%d", c.Dir, sub)
+			dir = subDirName(c.Dir, sub)
 			if err := c.FS.Mkdir(dir); err != nil && !fs.IsExist(err) {
 				return err
 			}

@@ -9,7 +9,6 @@ package cxfs
 
 import (
 	"fmt"
-	"path"
 	"time"
 
 	"dmetabench/internal/clientcache"
@@ -156,7 +155,7 @@ func (c *client) metaOp(p string, svc time.Duration, useDirCost bool, apply func
 	var err error
 	f.conn(c.node).Call(c.p, 180, 150, func(sp *sim.Proc) {
 		if useDirCost {
-			if dir, lerr := f.ns.Lookup(path.Dir(p)); lerr == nil {
+			if dir, lerr := f.ns.Lookup(fs.ParentDir(p)); lerr == nil {
 				lock := f.dirLock(dir.Ino)
 				lock.Lock(sp)
 				defer lock.Unlock()

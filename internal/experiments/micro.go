@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"dmetabench/internal/core"
@@ -130,11 +131,15 @@ func E02HarnessOverhead() *Report {
 		PaperRef: "Table 4.2 (Python vs. C, 200k creates)"}
 	const n = 200000
 
-	// Raw loop: direct namespace creates.
+	// Raw loop: direct namespace creates. Path construction matches the
+	// harness plugins' byte-append builder so the delta isolates the
+	// harness machinery (context, progress counter, deadline checks)
+	// rather than string formatting.
 	rawClient := newNullClient()
 	start := time.Now()
 	for i := 0; i < n; i++ {
-		if err := rawClient.Create(fmt.Sprintf("/%d", i)); err != nil {
+		name := "/" + strconv.Itoa(i)
+		if err := rawClient.Create(name); err != nil {
 			r.finding("raw loop failed: %v", err)
 			return r
 		}

@@ -81,6 +81,27 @@ func IsNotExist(err error) bool { return CodeOf(err) == ENOENT }
 // IsExist reports whether err is an EEXIST error.
 func IsExist(err error) bool { return CodeOf(err) == EEXIST }
 
+// ParentDir returns the parent directory of an already-clean path:
+// everything before the final slash, "/" for top-level entries and "."
+// for relative names without one. It matches path.Dir for the clean
+// absolute paths the benchmark builds, without path.Dir's re-cleaning
+// scan — this sits on the per-operation client hot path (parent locks,
+// parent lookups), where the extra scan was measurable.
+func ParentDir(p string) string {
+	i := len(p) - 1
+	for i >= 0 && p[i] != '/' {
+		i--
+	}
+	switch {
+	case i < 0:
+		return "."
+	case i == 0:
+		return "/"
+	default:
+		return p[:i]
+	}
+}
+
 // FileType distinguishes the inode kinds the benchmark handles.
 type FileType uint8
 

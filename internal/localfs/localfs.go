@@ -8,7 +8,6 @@ package localfs
 
 import (
 	"fmt"
-	"path"
 	"time"
 
 	"dmetabench/internal/cluster"
@@ -105,7 +104,7 @@ func (c *client) op(p string, base time.Duration, apply func(now time.Duration) 
 	f.node.Syscall(c.p)
 	var lock *sim.Mutex
 	entries := 0
-	if dir, err := f.ns.Lookup(path.Dir(p)); err == nil {
+	if dir, err := f.ns.Lookup(fs.ParentDir(p)); err == nil {
 		lock = f.dirLock(dir.Ino)
 		entries = dir.NumChildren()
 	}

@@ -9,7 +9,7 @@ package lustre
 
 import (
 	"fmt"
-	"path"
+	"strconv"
 	"time"
 
 	"dmetabench/internal/clientcache"
@@ -186,7 +186,7 @@ func (f *FS) nodeState(n *cluster.Node) *wbState {
 func (f *FS) dirLock(ino fs.Ino) *sim.Mutex {
 	m, ok := f.dirLocks[ino]
 	if !ok {
-		m = sim.NewMutex(f.k, fmt.Sprintf("mdsdir:%d", ino))
+		m = sim.NewMutex(f.k, "mdsdir:"+strconv.FormatUint(uint64(ino), 10))
 		f.dirLocks[ino] = m
 	}
 	return m
@@ -228,7 +228,7 @@ func (f *FS) mdsCreate(sp *sim.Proc, p string) error {
 }
 
 func (f *FS) parentEntries(p string) int {
-	dir, err := f.ns.Lookup(path.Dir(p))
+	dir, err := f.ns.Lookup(fs.ParentDir(p))
 	if err != nil {
 		return 0
 	}
@@ -236,7 +236,7 @@ func (f *FS) parentEntries(p string) int {
 }
 
 func (f *FS) lockParent(p string) *sim.Mutex {
-	dir, err := f.ns.Lookup(path.Dir(p))
+	dir, err := f.ns.Lookup(fs.ParentDir(p))
 	if err != nil {
 		return nil
 	}
@@ -307,7 +307,7 @@ func (c *client) Create(p string) error {
 		c.node.ExecNice(c.p, 4*time.Microsecond, cfg.ClientNice)
 		return nil
 	}
-	imutex := c.node.DirLock(path.Dir(p))
+	imutex := c.node.DirLock(fs.ParentDir(p))
 	imutex.Lock(c.p)
 	defer imutex.Unlock()
 	var err error
@@ -521,7 +521,7 @@ func (c *client) Symlink(target, linkPath string) error {
 func (c *client) modifyRPC(p string, svc time.Duration, apply func(sp *sim.Proc) error) error {
 	cfg := c.cfg()
 	c.node.SyscallNice(c.p, cfg.ClientNice)
-	imutex := c.node.DirLock(path.Dir(p))
+	imutex := c.node.DirLock(fs.ParentDir(p))
 	imutex.Lock(c.p)
 	defer imutex.Unlock()
 	var err error

@@ -1,0 +1,54 @@
+package namespace
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The zero-alloc contract of the resolution path: Lookup of an existing
+// deep path must not allocate at all (no strings.Split slices, no error
+// values on success), and Create must be bounded by the inode itself
+// plus amortized map growth.
+
+func TestLookupAllocFree(t *testing.T) {
+	ns := New()
+	ns.Mkdir("/a", 0o755, 0)
+	ns.Mkdir("/a/b", 0o755, 0)
+	ns.Mkdir("/a/b/c", 0o755, 0)
+	ns.Create("/a/b/c/leaf", 0o644, 0)
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, err := ns.Lookup("/a/b/c/leaf"); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("Lookup allocated %.1f objects/op, want 0", avg)
+	}
+	// The miss path must stay allocation-free up to the error value the
+	// caller receives (one *fs.Error).
+	if avg := testing.AllocsPerRun(200, func() {
+		ns.Lookup("/a/b/c/missing")
+	}); avg > 1 {
+		t.Fatalf("Lookup miss allocated %.1f objects/op, want <= 1", avg)
+	}
+}
+
+func TestCreateAllocBound(t *testing.T) {
+	ns := New()
+	ns.Mkdir("/d", 0o755, 0)
+	paths := make([]string, 20000)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("/d/%d", i)
+	}
+	i := 0
+	avg := testing.AllocsPerRun(10000, func() {
+		if _, err := ns.Create(paths[i], 0o644, 0); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	// One inode plus amortized map growth (directory entries + inode
+	// table); the seed implementation sat at ~5 with the split-based walk.
+	if avg > 3 {
+		t.Fatalf("Create allocated %.1f objects/op, want <= 3", avg)
+	}
+}

@@ -1,0 +1,20 @@
+package namespace
+
+import "testing"
+
+func TestDotDotAtRoot(t *testing.T) {
+	ns := New()
+	ns.Mkdir("/a", 0o755, 0)
+	n, err := ns.Lookup("/..")
+	if err != nil || n == nil || n.Ino != ns.Root() {
+		t.Fatalf("Lookup(/..) = %v, %v", n, err)
+	}
+	n, err = ns.Lookup("/../a")
+	if err != nil || n == nil {
+		t.Fatalf("Lookup(/../a) = %v, %v", n, err)
+	}
+	n, err = ns.Lookup("/../../a/../a")
+	if err != nil || n == nil {
+		t.Fatalf("Lookup(/../../a/../a) = %v, %v", n, err)
+	}
+}

@@ -14,7 +14,6 @@ package namespace
 import (
 	"math"
 	"sort"
-	"strings"
 	"time"
 
 	"dmetabench/internal/fs"
@@ -28,10 +27,25 @@ type Namespace struct {
 	nextIno fs.Ino
 	root    fs.Ino
 
+	// dirCache memoizes directory path resolution (span text -> inode),
+	// so repeated deep-path operations hash one string instead of one
+	// string per component. See resolve for the invalidation contract.
+	dirCache map[string]dirCacheEnt
+
 	// Totals maintained incrementally for profiling and charts.
 	files int
 	dirs  int
 }
+
+// dirCacheEnt is one memoized directory resolution.
+type dirCacheEnt struct {
+	ino   fs.Ino
+	depth int32
+}
+
+// dirCacheMax bounds the resolution cache; when full it is reset rather
+// than evicted, which keeps the hot path branch-free.
+const dirCacheMax = 1 << 14
 
 // Inode is one file system object.
 type Inode struct {
@@ -55,7 +69,11 @@ type Inode struct {
 
 // New returns a namespace containing only the root directory.
 func New() *Namespace {
-	ns := &Namespace{inodes: make(map[fs.Ino]*Inode), nextIno: 1}
+	ns := &Namespace{
+		inodes:   make(map[fs.Ino]*Inode),
+		nextIno:  1,
+		dirCache: make(map[string]dirCacheEnt),
+	}
 	root := &Inode{
 		Ino: 1, Type: fs.TypeDirectory, Mode: 0o755, Nlink: 2,
 		children: make(map[string]fs.Ino),
@@ -82,22 +100,13 @@ func (ns *Namespace) NumInodes() int { return len(ns.inodes) }
 // Get returns the inode by number, or nil.
 func (ns *Namespace) Get(ino fs.Ino) *Inode { return ns.inodes[ino] }
 
-// split breaks an absolute path into components. An empty path or "/"
-// yields no components.
-func split(p string) []string {
-	p = strings.Trim(p, "/")
-	if p == "" {
-		return nil
-	}
-	return strings.Split(p, "/")
-}
-
 // Lookup resolves path to an inode. It follows "." and ".." but not
-// symlinks (metadata benchmarks act on the link itself).
+// symlinks (metadata benchmarks act on the link itself). Runs of slashes
+// collapse as POSIX requires.
 func (ns *Namespace) Lookup(path string) (*Inode, error) {
-	ino, _, err := ns.walk(path, false)
-	if err != nil {
-		return nil, err
+	ino, _, errno := ns.resolvePath(path)
+	if errno != fs.OK {
+		return nil, fs.NewError("walk", path, errno)
 	}
 	return ns.inodes[ino], nil
 }
@@ -106,61 +115,112 @@ func (ns *Namespace) Lookup(path string) (*Inode, error) {
 // directory components traversed, which callers use to charge path-walk
 // costs (POSIX requires a permission check on every component, §2.3.1).
 func (ns *Namespace) LookupDepth(path string) (*Inode, int, error) {
-	ino, depth, err := ns.walk(path, false)
-	if err != nil {
-		return nil, depth, err
+	ino, depth, errno := ns.resolvePath(path)
+	if errno != fs.OK {
+		return nil, depth, fs.NewError("walk", path, errno)
 	}
 	return ns.inodes[ino], depth, nil
 }
 
-// walk resolves path. If parentOnly, it resolves the parent directory of
-// the final component and returns it; the caller handles the final name.
-func (ns *Namespace) walk(path string, parentOnly bool) (fs.Ino, int, error) {
-	comps := split(path)
-	if parentOnly {
-		if len(comps) == 0 {
-			return 0, 0, fs.NewError("walk", path, fs.EINVAL)
-		}
-		comps = comps[:len(comps)-1]
+// pathSpan returns the index range of p with leading and trailing
+// slashes trimmed; start == end for the root ("/", "", "///").
+func pathSpan(p string) (start, end int) {
+	start, end = 0, len(p)
+	for start < end && p[start] == '/' {
+		start++
 	}
-	cur := ns.root
-	depth := 0
-	for _, c := range comps {
-		node := ns.inodes[cur]
-		if node.Type != fs.TypeDirectory {
-			return 0, depth, fs.NewError("walk", path, fs.ENOTDIR)
-		}
-		depth++
-		switch c {
-		case ".":
-			continue
-		case "..":
-			cur = node.parent
-			continue
-		}
-		next, ok := node.children[c]
+	for end > start && p[end-1] == '/' {
+		end--
+	}
+	return start, end
+}
+
+// resolvePath resolves a whole path string.
+func (ns *Namespace) resolvePath(p string) (fs.Ino, int, fs.Errno) {
+	start, end := pathSpan(p)
+	return ns.resolve(p, start, end)
+}
+
+// resolve resolves the path span p[start:end) from the root without
+// allocating: components are sliced out by index, never split into a
+// slice. Successful directory resolutions are memoized in dirCache under
+// the exact span text, so a deep path that is resolved repeatedly (the
+// per-operation parent walks of Create/Stat) costs one map probe instead
+// of one per component. Creating entries never changes the meaning of a
+// span that already resolves, so the cache is only invalidated —
+// wholesale — when a directory is removed, replaced or moved (Rmdir and
+// directory-affecting Rename).
+//
+// depth counts traversed components (including "." and "..") and is also
+// reported on failure, matching the path-walk charging contract of
+// LookupDepth.
+func (ns *Namespace) resolve(p string, start, end int) (fs.Ino, int, fs.Errno) {
+	for end > start && p[end-1] == '/' {
+		end--
+	}
+	if start >= end {
+		return ns.root, 0, fs.OK
+	}
+	if c, ok := ns.dirCache[p[start:end]]; ok {
+		return c.ino, int(c.depth), fs.OK
+	}
+	j := end
+	for j > start && p[j-1] != '/' {
+		j--
+	}
+	parent, depth, errno := ns.resolve(p, start, j)
+	if errno != fs.OK {
+		return 0, depth, errno
+	}
+	node := ns.inodes[parent]
+	if node.Type != fs.TypeDirectory {
+		return 0, depth, fs.ENOTDIR
+	}
+	depth++
+	switch name := p[j:end]; name {
+	case ".":
+		return parent, depth, fs.OK
+	case "..":
+		return node.parent, depth, fs.OK
+	default:
+		next, ok := node.children[name]
 		if !ok {
-			return 0, depth, fs.NewError("walk", path, fs.ENOENT)
+			return 0, depth, fs.ENOENT
 		}
-		cur = next
+		if ns.inodes[next].Type == fs.TypeDirectory {
+			if len(ns.dirCache) >= dirCacheMax {
+				clear(ns.dirCache)
+			}
+			ns.dirCache[p[start:end]] = dirCacheEnt{ino: next, depth: int32(depth)}
+		}
+		return next, depth, fs.OK
 	}
-	return cur, depth, nil
+}
+
+// invalidateDirCache drops all memoized resolutions; called whenever a
+// directory is unlinked from or moved within the tree.
+func (ns *Namespace) invalidateDirCache() {
+	clear(ns.dirCache)
 }
 
 // parentAndName resolves the parent directory of path and returns it with
 // the final component.
 func (ns *Namespace) parentAndName(op, path string) (*Inode, string, error) {
-	comps := split(path)
-	if len(comps) == 0 {
+	start, end := pathSpan(path)
+	if start >= end {
 		return nil, "", fs.NewError(op, path, fs.EINVAL)
 	}
-	name := comps[len(comps)-1]
+	j := end
+	for j > start && path[j-1] != '/' {
+		j--
+	}
+	name := path[j:end]
 	if name == "." || name == ".." {
 		return nil, "", fs.NewError(op, path, fs.EINVAL)
 	}
-	ino, _, err := ns.walk(path, true)
-	if err != nil {
-		return nil, "", err
+	ino, _, errno := ns.resolve(path, start, j)
+	if errno != fs.OK {
+		return nil, "", fs.NewError("walk", path, errno)
 	}
 	dir := ns.inodes[ino]
 	if dir.Type != fs.TypeDirectory {
@@ -310,6 +370,7 @@ func (ns *Namespace) Rmdir(path string, now time.Duration) error {
 	dir.Nlink--
 	dir.Mtime, dir.Ctime = now, now
 	ns.dirs--
+	ns.invalidateDirCache()
 	return nil
 }
 
@@ -359,6 +420,7 @@ func (ns *Namespace) Rename(oldPath, newPath string, now time.Duration) error {
 			delete(ns.inodes, dstIno)
 			ndir.Nlink--
 			ns.dirs--
+			ns.invalidateDirCache() // a directory was replaced
 		default:
 			dst.Nlink--
 			if dst.Nlink == 0 {
@@ -369,6 +431,11 @@ func (ns *Namespace) Rename(oldPath, newPath string, now time.Duration) error {
 	}
 	delete(odir.children, oname)
 	ndir.children[nname] = srcIno
+	if src.Type == fs.TypeDirectory {
+		// Moving a directory changes what every span below its old name
+		// resolves to; file moves cannot affect directory resolution.
+		ns.invalidateDirCache()
+	}
 	if src.Type == fs.TypeDirectory && odir.Ino != ndir.Ino {
 		odir.Nlink--
 		ndir.Nlink++

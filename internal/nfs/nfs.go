@@ -7,8 +7,7 @@
 package nfs
 
 import (
-	"fmt"
-	"path"
+	"strconv"
 	"time"
 
 	"dmetabench/internal/clientcache"
@@ -159,7 +158,7 @@ func (f *FS) nodeState(n *cluster.Node) *nodeState {
 func (f *FS) dirLock(ino fs.Ino) *sim.Mutex {
 	m, ok := f.dirLocks[ino]
 	if !ok {
-		m = sim.NewMutex(f.k, fmt.Sprintf("nfsdir:%d", ino))
+		m = sim.NewMutex(f.k, "nfsdir:"+strconv.FormatUint(uint64(ino), 10))
 		f.dirLocks[ino] = m
 	}
 	return m
@@ -180,7 +179,7 @@ func (f *FS) service(p *sim.Proc, base time.Duration, dirEntries int) {
 // parentEntries returns the entry count of path's parent directory, if it
 // resolves; otherwise 0.
 func (f *FS) parentEntries(p string) int {
-	dir, err := f.ns.Lookup(path.Dir(p))
+	dir, err := f.ns.Lookup(fs.ParentDir(p))
 	if err != nil {
 		return 0
 	}
@@ -190,7 +189,7 @@ func (f *FS) parentEntries(p string) int {
 // lockParent returns the server-side lock of path's parent directory (or
 // nil if the parent does not resolve).
 func (f *FS) lockParent(p string) *sim.Mutex {
-	dir, err := f.ns.Lookup(path.Dir(p))
+	dir, err := f.ns.Lookup(fs.ParentDir(p))
 	if err != nil {
 		return nil
 	}
@@ -271,7 +270,7 @@ func (c *client) Create(p string) error {
 	if err := c.resolveParents(p); err != nil {
 		return err
 	}
-	parent := path.Dir(p)
+	parent := fs.ParentDir(p)
 	imutex := c.node.DirLock(parent)
 	imutex.Lock(c.p)
 	defer imutex.Unlock()
@@ -517,7 +516,7 @@ func (c *client) modifyRPC(op, p string, svc time.Duration, apply func(sp *sim.P
 	if err := c.resolveParents(p); err != nil {
 		return err
 	}
-	imutex := c.node.DirLock(path.Dir(p))
+	imutex := c.node.DirLock(fs.ParentDir(p))
 	imutex.Lock(c.p)
 	defer imutex.Unlock()
 	var err error

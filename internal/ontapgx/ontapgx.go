@@ -281,12 +281,12 @@ func (c *client) modify(op, p string, svc time.Duration, apply func(sp *sim.Proc
 	if err != nil {
 		return err
 	}
-	imutex := c.node.DirLock(path.Dir(p))
+	imutex := c.node.DirLock(fs.ParentDir(p))
 	imutex.Lock(c.p)
 	defer imutex.Unlock()
 	owner := f.filers[v.owner]
 	f.dispatch(c.p, c.node, v, func(sp *sim.Proc) {
-		if dir, lerr := v.ns.Lookup(path.Dir(sub)); lerr == nil {
+		if dir, lerr := v.ns.Lookup(fs.ParentDir(sub)); lerr == nil {
 			lock := v.dirLock(f.k, dir.Ino)
 			lock.Lock(sp)
 			defer lock.Unlock()

@@ -149,10 +149,10 @@ type client struct {
 func (c *client) dirOp(p string, svc time.Duration, apply func(sp *sim.Proc) error) error {
 	f := c.fsys
 	c.node.Syscall(c.p)
-	srv := f.serverFor(path.Dir(p))
+	srv := f.serverFor(fs.ParentDir(p))
 	var err error
 	f.conn(c.node, srv).Call(c.p, 180, 150, func(sp *sim.Proc) {
-		if dir, lerr := f.ns.Lookup(path.Dir(p)); lerr == nil {
+		if dir, lerr := f.ns.Lookup(fs.ParentDir(p)); lerr == nil {
 			lock := f.dirLock(dir.Ino)
 			lock.Lock(sp)
 			defer lock.Unlock()

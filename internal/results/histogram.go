@@ -3,6 +3,7 @@ package results
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"strings"
 	"time"
 )
@@ -24,7 +25,9 @@ func bucketOf(d time.Duration) int {
 	if us < 1 {
 		return 0
 	}
-	b := int(math.Log2(float64(us))) + 1
+	// bits.Len64 gives floor(log2(us))+1 directly in integer arithmetic;
+	// the float Log2 it replaces cost a convert+libm call per observation.
+	b := bits.Len64(uint64(us))
 	if b >= len(Histogram{}.buckets) {
 		b = len(Histogram{}.buckets) - 1
 	}
@@ -62,12 +65,15 @@ func (h *Histogram) Mean() time.Duration {
 func (h *Histogram) Min() time.Duration { return time.Duration(h.min) }
 func (h *Histogram) Max() time.Duration { return time.Duration(h.max) }
 
-// bucketUpper returns the inclusive upper bound of bucket b.
+// bucketUpper returns the inclusive upper bound of bucket b: the largest
+// duration that bucketOf maps into b. Bucket 0 holds everything below
+// 1µs; bucket b>=1 holds [2^(b-1)µs, 2^b µs), so the true inclusive
+// bound sits one nanosecond under the next power-of-two edge.
 func bucketUpper(b int) time.Duration {
 	if b == 0 {
-		return time.Microsecond
+		return time.Microsecond - time.Nanosecond
 	}
-	return time.Duration(1<<uint(b)) * time.Microsecond / 2 * 2
+	return time.Duration(1<<uint(b))*time.Microsecond - time.Nanosecond
 }
 
 // Percentile returns an upper bound for the p-quantile (0 < p <= 1) at

@@ -55,6 +55,46 @@ func TestHistogramTail(t *testing.T) {
 	}
 }
 
+// TestHistogramBucketEdges pins the power-of-two bucket layout: each edge
+// (1µs, 2µs, 4µs, ...) starts a new bucket, everything below the edge
+// stays in the previous one, and bucketUpper reports the true inclusive
+// bound — the largest duration bucketOf maps into the bucket.
+func TestHistogramBucketEdges(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{time.Nanosecond, 0},
+		{time.Microsecond - time.Nanosecond, 0},
+		{time.Microsecond, 1},
+		{2*time.Microsecond - time.Nanosecond, 1},
+		{2 * time.Microsecond, 2},
+		{4*time.Microsecond - time.Nanosecond, 2},
+		{4 * time.Microsecond, 3},
+		{8 * time.Microsecond, 4},
+		{1024 * time.Microsecond, 11},
+		{time.Second, 20}, // 1e6 µs: 2^19 <= 1e6 < 2^20
+		{time.Hour, 32},   // 3.6e9 µs: 2^31 <= 3.6e9 < 2^32
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.d); got != c.want {
+			t.Errorf("bucketOf(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	// bucketUpper(b) must be the largest duration still mapping to b, and
+	// one more nanosecond must fall into b+1.
+	for b := 0; b < 20; b++ {
+		up := bucketUpper(b)
+		if got := bucketOf(up); got != b {
+			t.Errorf("bucketOf(bucketUpper(%d)=%v) = %d, want %d", b, up, got, b)
+		}
+		if got := bucketOf(up + time.Nanosecond); got != b+1 {
+			t.Errorf("bucketOf(bucketUpper(%d)+1ns) = %d, want %d", b, got, b+1)
+		}
+	}
+}
+
 // Property: percentiles are monotone in p and bounded by max.
 func TestHistogramPercentileMonotone(t *testing.T) {
 	f := func(us []uint32) bool {

@@ -12,17 +12,28 @@
 // The kernel is the substrate for every simulated subsystem in this
 // repository: cluster nodes, networks, storage devices and the file system
 // models are all built from sim processes and sim resources.
+//
+// Scheduling is built for throughput: the event queue is a concrete-typed
+// binary heap (no interface boxing, storage reused across events), a
+// parking process hands control directly to the next runnable process
+// without a round trip through the kernel goroutine, and a process whose
+// wake-up would be the next event anyway (a Sleep with no earlier pending
+// event) simply advances the clock and keeps running — no heap traffic
+// and no channel handshake at all.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 )
 
 // Time is virtual time since the start of the simulation.
 type Time = time.Duration
+
+// forever is the run horizon of an unbounded Run call.
+const forever = Time(math.MaxInt64)
 
 // event is a scheduled wake-up of a process.
 type event struct {
@@ -31,24 +42,74 @@ type event struct {
 	p   *Proc
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// lessThan orders events by (at, seq); seq ties never occur.
+func (a event) lessThan(b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
+
+// ordered is satisfied by heap elements that know their own ordering.
+type ordered[T any] interface {
+	lessThan(T) bool
 }
+
+// minHeap is a concrete-typed binary min-heap shared by the kernel event
+// queue and the synchronization wait queues. Compared to container/heap
+// it avoids the interface{} boxing that costs one allocation per entry;
+// the backing slice is reused for the lifetime of the kernel, so
+// steady-state scheduling does not allocate.
+type minHeap[T ordered[T]] struct {
+	e []T
+}
+
+func (h *minHeap[T]) len() int { return len(h.e) }
+
+func (h *minHeap[T]) push(v T) {
+	e := append(h.e, v)
+	i := len(e) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e[i].lessThan(e[parent]) {
+			break
+		}
+		e[i], e[parent] = e[parent], e[i]
+		i = parent
+	}
+	h.e = e
+}
+
+func (h *minHeap[T]) pop() T {
+	e := h.e
+	top := e[0]
+	n := len(e) - 1
+	e[0] = e[n]
+	var zero T
+	e[n] = zero // clear the popped slot so interior pointers can be collected
+	e = e[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && e[r].lessThan(e[l]) {
+			m = r
+		}
+		if !e[m].lessThan(e[i]) {
+			break
+		}
+		e[i], e[m] = e[m], e[i]
+		i = m
+	}
+	h.e = e
+	return top
+}
+
+// eventHeap is the kernel's scheduling queue.
+type eventHeap = minHeap[event]
 
 // Kernel is a discrete-event simulation kernel. The zero value is not
 // usable; call New.
@@ -56,21 +117,23 @@ type Kernel struct {
 	now     Time
 	seq     int64
 	queue   eventHeap
-	parked  chan *Proc // handshake: a proc announces it has blocked or exited
+	parked  chan *Proc // handshake: control returns to Run/RunFor
 	live    int        // procs started and not yet finished
 	daemons int        // live daemon procs (ignored for termination)
 	blocked int        // procs waiting on a condition (not in queue)
 	rng     *rand.Rand
 	procSeq int
 	halted  bool
+	horizon Time    // events beyond this virtual time stay queued
 	procs   []*Proc // all spawned procs, for deadlock diagnostics
 }
 
 // New returns a kernel whose random source is seeded with seed.
 func New(seed int64) *Kernel {
 	return &Kernel{
-		parked: make(chan *Proc),
-		rng:    rand.New(rand.NewSource(seed)),
+		parked:  make(chan *Proc),
+		rng:     rand.New(rand.NewSource(seed)),
+		horizon: forever,
 	}
 }
 
@@ -91,7 +154,24 @@ func (k *Kernel) schedule(p *Proc, at Time) {
 	if at < k.now {
 		at = k.now
 	}
-	heap.Push(&k.queue, event{at: at, seq: k.nextSeq(), p: p})
+	k.queue.push(event{at: at, seq: k.nextSeq(), p: p})
+}
+
+// dispatchNext pops the earliest runnable event and hands control to its
+// process. It reports false when nothing may run: the queue is empty,
+// only daemons remain live, or the next event lies beyond the run
+// horizon — in those cases the caller must return control to the kernel
+// goroutine instead.
+func (k *Kernel) dispatchNext() bool {
+	if k.live <= k.daemons || k.queue.len() == 0 || k.queue.e[0].at > k.horizon {
+		return false
+	}
+	ev := k.queue.pop()
+	if ev.at > k.now {
+		k.now = ev.at
+	}
+	ev.p.resume <- struct{}{}
+	return true
 }
 
 // Proc is a simulated process. Procs are created with Kernel.Spawn or
@@ -160,7 +240,11 @@ func (k *Kernel) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
 			k.schedule(w, k.now)
 		}
 		p.waiters = nil
-		k.parked <- p
+		// Hand control to the next runnable process; wake the kernel
+		// goroutine only when nothing may run.
+		if !k.dispatchNext() {
+			k.parked <- p
+		}
 	}()
 	k.schedule(p, k.now)
 	return p
@@ -171,10 +255,13 @@ func (p *Proc) Spawn(name string, fn func(p *Proc)) *Proc {
 	return p.k.Spawn(name, fn)
 }
 
-// park transfers control back to the kernel and waits to be resumed.
+// park transfers control to the next runnable process (or, when nothing
+// may run, back to the kernel goroutine) and waits to be resumed.
 func (p *Proc) park(reason string) {
 	p.blockedOn = reason
-	p.k.parked <- p
+	if !p.k.dispatchNext() {
+		p.k.parked <- p
+	}
 	<-p.resume
 	p.blockedOn = ""
 }
@@ -182,13 +269,29 @@ func (p *Proc) park(reason string) {
 // Sleep suspends the process for d of virtual time. Negative durations
 // sleep zero time (yield).
 func (p *Proc) Sleep(d Time) {
-	if p.k.halted {
+	k := p.k
+	if k.halted {
 		panic(ErrHalted)
 	}
 	if d < 0 {
 		d = 0
 	}
-	p.k.schedule(p, p.k.now+d)
+	at := k.now + d
+	if at < k.now {
+		// Overflow (sleep-forever idioms): schedule() would clamp the
+		// wake-up to now; the fast path must not move the clock backwards.
+		at = k.now
+	}
+	// Fast path: if no pending event precedes this wake-up, the scheduler
+	// would hand control straight back to this process — advance the
+	// clock in place and skip the heap and channel round trip entirely.
+	// Ties go to the queued event (its sequence number is older), exactly
+	// as the slow path would order them.
+	if at <= k.horizon && (k.queue.len() == 0 || k.queue.e[0].at > at) {
+		k.now = at
+		return
+	}
+	k.schedule(p, at)
 	p.park("sleep")
 }
 
@@ -234,20 +337,9 @@ func (e *DeadlockError) Error() string {
 
 // Run executes the simulation until no events remain. It returns a
 // *DeadlockError if live processes remain blocked with an empty event
-// queue, and nil otherwise. Run must only be called once.
+// queue, and nil otherwise.
 func (k *Kernel) Run() error {
-	for k.queue.Len() > 0 && k.live > k.daemons {
-		ev := heap.Pop(&k.queue).(event)
-		if ev.at > k.now {
-			k.now = ev.at
-		}
-		ev.p.resume <- struct{}{}
-		<-k.parked
-	}
-	if k.live > k.daemons {
-		return &DeadlockError{Blocked: k.blockedProcNames()}
-	}
-	return nil
+	return k.run(forever)
 }
 
 func (k *Kernel) blockedProcNames() []string {
@@ -267,20 +359,28 @@ func (k *Kernel) blockedProcNames() []string {
 // remain, whichever comes first. Processes still runnable when t is
 // reached remain parked; a subsequent Run/RunFor continues them.
 func (k *Kernel) RunFor(t Time) error {
-	for k.queue.Len() > 0 && k.live > k.daemons {
-		if k.queue[0].at > t {
-			k.now = t
+	return k.run(t)
+}
+
+// run drives the simulation with the given horizon. Control stays inside
+// the web of process goroutines (direct handoff in park) and only comes
+// back here — via the parked channel — when no process may run; the loop
+// then decides between termination, horizon stop and deadlock. The
+// switch cases mirror dispatchNext's gating conditions one to one, which
+// is what lets it delegate the actual handoff.
+func (k *Kernel) run(horizon Time) error {
+	k.horizon = horizon
+	for {
+		switch {
+		case k.live <= k.daemons:
+			return nil // only daemons (or nothing) left
+		case k.queue.len() == 0:
+			return &DeadlockError{Blocked: k.blockedProcNames()}
+		case k.queue.e[0].at > horizon:
+			k.now = horizon
 			return nil
 		}
-		ev := heap.Pop(&k.queue).(event)
-		if ev.at > k.now {
-			k.now = ev.at
-		}
-		ev.p.resume <- struct{}{}
+		k.dispatchNext()
 		<-k.parked
 	}
-	if k.live > k.daemons {
-		return &DeadlockError{Blocked: k.blockedProcNames()}
-	}
-	return nil
 }

@@ -1,7 +1,5 @@
 package sim
 
-import "container/heap"
-
 // waiter is a process queued on a synchronization primitive.
 type waiter struct {
 	p   *Proc
@@ -10,24 +8,17 @@ type waiter struct {
 	n   int64 // units requested (semaphores)
 }
 
-type waitQueue []waiter
-
-func (q waitQueue) Len() int { return len(q) }
-func (q waitQueue) Less(i, j int) bool {
-	if q[i].pri != q[j].pri {
-		return q[i].pri < q[j].pri
+// lessThan orders waiters by (pri, seq); seq ties never occur.
+func (a waiter) lessThan(b waiter) bool {
+	if a.pri != b.pri {
+		return a.pri < b.pri
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
-func (q waitQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *waitQueue) Push(x interface{}) { *q = append(*q, x.(waiter)) }
-func (q *waitQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	w := old[n-1]
-	*q = old[:n-1]
-	return w
-}
+
+// waitQueue is a binary min-heap of waiters ordered by (pri, seq),
+// sharing the kernel's boxing-free minHeap implementation.
+type waitQueue = minHeap[waiter]
 
 // Semaphore is a counted semaphore with priority-aware FIFO queueing.
 // Acquire requests may ask for multiple units, which is convenient for
@@ -48,7 +39,7 @@ func NewSemaphore(k *Kernel, name string, units int64) *Semaphore {
 func (s *Semaphore) Available() int64 { return s.units }
 
 // QueueLen returns the number of waiting processes.
-func (s *Semaphore) QueueLen() int { return len(s.q) }
+func (s *Semaphore) QueueLen() int { return s.q.len() }
 
 // Acquire obtains n units, blocking p until they are available. Waiters
 // are served in (priority, arrival) order; a large request blocks later
@@ -58,19 +49,19 @@ func (s *Semaphore) Acquire(p *Proc, n int64) { s.AcquirePri(p, n, 0) }
 
 // AcquirePri is Acquire with an explicit priority (lower = sooner).
 func (s *Semaphore) AcquirePri(p *Proc, n int64, pri int) {
-	if len(s.q) == 0 && s.units >= n {
+	if s.q.len() == 0 && s.units >= n {
 		s.units -= n
 		return
 	}
-	heap.Push(&s.q, waiter{p: p, pri: pri, seq: s.k.nextSeq(), n: n})
+	s.q.push(waiter{p: p, pri: pri, seq: s.k.nextSeq(), n: n})
 	p.block("sem:" + s.name)
 }
 
 // Release returns n units and wakes as many waiters as can now be served.
 func (s *Semaphore) Release(n int64) {
 	s.units += n
-	for len(s.q) > 0 && s.q[0].n <= s.units {
-		w := heap.Pop(&s.q).(waiter)
+	for s.q.len() > 0 && s.q.e[0].n <= s.units {
+		w := s.q.pop()
 		s.units -= w.n
 		s.k.wake(w.p)
 	}
@@ -78,7 +69,7 @@ func (s *Semaphore) Release(n int64) {
 
 // TryAcquire obtains n units without blocking, reporting success.
 func (s *Semaphore) TryAcquire(n int64) bool {
-	if len(s.q) == 0 && s.units >= n {
+	if s.q.len() == 0 && s.units >= n {
 		s.units -= n
 		return true
 	}

@@ -1,0 +1,31 @@
+#!/bin/sh
+# bench.sh — snapshot the substrate micro-benchmarks into BENCH_<date>.json
+#
+# Usage: scripts/bench.sh [output-dir]   (default: repo root)
+#
+# The snapshot records ns/op, B/op and allocs/op for the three simulator
+# substrate benchmarks so future PRs have a perf trajectory to compare
+# against (see DESIGN.md, "Performance-regression workflow").
+set -eu
+
+cd "$(dirname "$0")/.."
+outdir="${1:-.}"
+out="$outdir/BENCH_$(date +%Y-%m-%d).json"
+
+raw=$(go test -run '^$' \
+	-bench 'BenchmarkSimulatedCreate$|BenchmarkNamespaceCreate$|BenchmarkRunnerMeasurement$' \
+	-benchmem -benchtime=1s -count=1 .)
+
+echo "$raw" | awk -v host="$(uname -sm)" '
+BEGIN { print "{"; printf "  \"host\": \"%s\",\n  \"benchmarks\": {\n", host; n = 0 }
+/^Benchmark/ {
+	name = $1; sub(/-[0-9]+$/, "", name)
+	if (n++) printf ",\n"
+	printf "    \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+		name, $3, $5, $7
+}
+END { printf "\n  }\n}\n" }
+' > "$out"
+
+echo "wrote $out"
+cat "$out"
