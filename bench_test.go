@@ -20,6 +20,7 @@ import (
 	"dmetabench/internal/namespace"
 	"dmetabench/internal/nfs"
 	"dmetabench/internal/realrun"
+	"dmetabench/internal/shard"
 	"dmetabench/internal/sim"
 )
 
@@ -138,6 +139,21 @@ func BenchmarkE15WritebackCaching(b *testing.B) {
 		"burst rate (first 200ms)", "sustained rate (4..8s)")
 }
 
+func BenchmarkE16ShardScaling(b *testing.B) {
+	runExperiment(b, experiments.E16ShardScaling,
+		"creates/s @  1 shards", "creates/s @  8 shards", "speedup 1->16 shards")
+}
+
+func BenchmarkE17ShardSkew(b *testing.B) {
+	runExperiment(b, experiments.E17ShardSkew,
+		"hash advantage under skew", "subtree advantage under uniform")
+}
+
+func BenchmarkE18CrossShard(b *testing.B) {
+	runExperiment(b, experiments.E18CrossShard,
+		"cross-shard rename penalty", "merge penalty")
+}
+
 func BenchmarkA01AveragingMethods(b *testing.B) {
 	runExperiment(b, experiments.A01AveragingMethods,
 		"wall-clock average", "stonewall average")
@@ -156,6 +172,29 @@ func BenchmarkSimulatedCreate(b *testing.B) {
 	k := sim.New(1)
 	cl := cluster.New(k, cluster.DefaultConfig(1))
 	fsys := nfs.New(k, "bench", nfs.DefaultConfig())
+	k.Spawn("creator", func(p *sim.Proc) {
+		c := fsys.NewClient(cl.Nodes[0], p)
+		c.Mkdir("/d")
+		for i := 0; i < b.N; i++ {
+			if i%5000 == 0 {
+				c.Mkdir(fmt.Sprintf("/d/s%d", i/5000))
+			}
+			c.Create(fmt.Sprintf("/d/s%d/%d", i/5000, i))
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkShardedCreate measures the real-time cost of one simulated
+// create on the sharded MDS model (4 shards, hash placement) — the
+// multi-server counterpart of BenchmarkSimulatedCreate.
+func BenchmarkShardedCreate(b *testing.B) {
+	k := sim.New(1)
+	cl := cluster.New(k, cluster.DefaultConfig(1))
+	fsys := shard.New(k, "bench", shard.DefaultConfig(4))
 	k.Spawn("creator", func(p *sim.Proc) {
 		c := fsys.NewClient(cl.Nodes[0], p)
 		c.Mkdir("/d")

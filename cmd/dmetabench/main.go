@@ -38,18 +38,20 @@ import (
 	"dmetabench/internal/pvfs"
 	"dmetabench/internal/realrun"
 	"dmetabench/internal/results"
+	"dmetabench/internal/shard"
 	"dmetabench/internal/sim"
 )
 
 func main() {
 	var (
 		mode        = flag.String("mode", "sim", "sim | real | master")
-		fsKind      = flag.String("fs", "nfs", "simulated fs: nfs | lustre | lustre-wb | cxfs | afs | gx | pvfs | local")
+		fsKind      = flag.String("fs", "nfs", "simulated fs: nfs | lustre | lustre-wb | cxfs | afs | gx | pvfs | shard | shard-subtree | local")
 		nodes       = flag.Int("nodes", 4, "sim: number of client nodes")
 		ppn         = flag.Int("ppn", 2, "sim: worker slots per node")
 		cores       = flag.Int("cores", 8, "sim: CPU cores per node")
 		latency     = flag.Duration("latency", 250*time.Microsecond, "sim: one-way network latency")
 		seed        = flag.Int64("seed", 1, "sim: random seed")
+		shards      = flag.Int("shards", 4, "sim: metadata servers for -fs shard / shard-subtree")
 		ops         = flag.String("ops", "MakeFiles", "comma-separated operation list")
 		problem     = flag.Int("problemsize", 5000, "operations per process (or per-directory limit)")
 		timeLimit   = flag.Duration("timelimit", 0, "timed benchmark window (0 = fixed problem size)")
@@ -92,7 +94,7 @@ func main() {
 	var err error
 	switch *mode {
 	case "sim":
-		set, err = runSim(*fsKind, *nodes, *ppn, *cores, *latency, *seed, params, plugins)
+		set, err = runSim(*fsKind, *nodes, *ppn, *cores, *shards, *latency, *seed, params, plugins)
 	case "real":
 		if *root == "" {
 			fatal(fmt.Errorf("-mode real requires -root"))
@@ -126,7 +128,7 @@ func main() {
 	}
 }
 
-func runSim(fsKind string, nodes, ppn, cores int, latency time.Duration, seed int64,
+func runSim(fsKind string, nodes, ppn, cores, shards int, latency time.Duration, seed int64,
 	params core.Params, plugins []core.Plugin) (*results.Set, error) {
 
 	k := sim.New(seed)
@@ -174,6 +176,13 @@ func runSim(fsKind string, nodes, ppn, cores int, latency time.Duration, seed in
 			params.WorkDir = "/vol0"
 		}
 		fsys = gx
+	case "shard", "shard-subtree":
+		c := shard.DefaultConfig(shards)
+		c.OneWayLatency = latency
+		if fsKind == "shard-subtree" {
+			c.Placement = shard.PlaceSubtree
+		}
+		fsys = shard.New(k, "meta", c)
 	case "pvfs":
 		c := pvfs.DefaultConfig()
 		c.OneWayLatency = latency

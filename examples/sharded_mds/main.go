@@ -1,0 +1,134 @@
+// sharded_mds walks through the sharded metadata service model: it
+// sweeps the shard count under a fixed create load, then puts the two
+// placement policies (hash-of-parent-directory vs. directory subtrees)
+// against a Zipf-skewed directory popularity, and finally prices a
+// single cross-shard rename against a local one.
+//
+//	go run ./examples/sharded_mds
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dmetabench/internal/cluster"
+	"dmetabench/internal/core"
+	"dmetabench/internal/shard"
+	"dmetabench/internal/sim"
+)
+
+// workload is a uniform or Zipf-skewed create mix over 24 project
+// subtrees of 32 directories each, with one mkdir per 50 creates.
+func workload(skew float64) core.ZipfDirFiles {
+	return core.ZipfDirFiles{Projects: 24, SubdirsPerProject: 32, Skew: skew, MkdirEvery: 50}
+}
+
+// sweep runs the workload on 16 nodes x 4 processes (enough demand
+// to saturate a small shard count) against cfg and
+// returns the wall-clock create throughput.
+func sweep(seed int64, cfg shard.Config, skew float64) (float64, *shard.FS) {
+	k := sim.New(seed)
+	cl := cluster.New(k, cluster.DefaultConfig(16))
+	fsys := shard.New(k, "meta", cfg)
+	r := &core.Runner{
+		Cluster:      cl,
+		FS:           fsys,
+		Params:       core.Params{ProblemSize: 400, WorkDir: "/"},
+		SlotsPerNode: 4,
+		Plugins:      []core.Plugin{workload(skew)},
+		Filter:       func(c core.Combo) bool { return c.Nodes == 16 && c.PPN == 4 },
+	}
+	set, err := r.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return set.Find("ZipfDirFiles", 16, 4).Averages().WallClock, fsys
+}
+
+func main() {
+	fmt.Println("1. create throughput vs. shard count (hash placement, 64 procs):")
+	fmt.Println("   shards   ops/s    cross-shard hops")
+	for _, n := range []int{1, 2, 4, 8} {
+		rate, fsys := sweep(int64(100+n), shard.DefaultConfig(n), 0)
+		fmt.Printf("   %6d %7.0f %19d\n", n, rate, fsys.CrossCount)
+	}
+
+	fmt.Println()
+	fmt.Println("2. placement policy under directory-popularity skew (8 shards):")
+	subtreeCfg := func() shard.Config {
+		cfg := shard.DefaultConfig(8)
+		cfg.Placement = shard.PlaceSubtree
+		cfg.SubtreeAssign = make(map[string]int, 24)
+		for j := 0; j < 24; j++ {
+			cfg.SubtreeAssign[fmt.Sprintf("zp%d", j)] = j % 8
+		}
+		return cfg
+	}
+	for _, load := range []struct {
+		name string
+		skew float64
+	}{{"uniform", 0}, {"Zipf 2.0", 2.0}} {
+		hashRate, _ := sweep(201, shard.DefaultConfig(8), load.skew)
+		subRate, _ := sweep(202, subtreeCfg(), load.skew)
+		fmt.Printf("   %-8s  hash %7.0f ops/s   subtree %7.0f ops/s\n",
+			load.name, hashRate, subRate)
+	}
+
+	fmt.Println()
+	fmt.Println("3. the price of crossing a shard boundary (hash placement):")
+	k := sim.New(303)
+	cl := cluster.New(k, cluster.DefaultConfig(1))
+	fsys := shard.New(k, "meta", shard.DefaultConfig(8))
+	var local, remote string
+	for i := 1; i < 128 && (local == "" || remote == ""); i++ {
+		cand := fmt.Sprintf("/d%d", i)
+		if fsys.ShardOfDir(cand) == fsys.ShardOfDir("/d0") {
+			if local == "" {
+				local = cand
+			}
+		} else if remote == "" {
+			remote = cand
+		}
+	}
+	k.Spawn("probe", func(p *sim.Proc) {
+		c := fsys.NewClient(cl.Nodes[0], p)
+		for _, d := range []string{"/d0", local, remote} {
+			if err := c.Mkdir(d); err != nil {
+				log.Fatal(err)
+			}
+		}
+		const n = 100
+		for i := 0; i < n; i++ {
+			if err := c.Create(fmt.Sprintf("/d0/f%d", i)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		measure := func(dst string) time.Duration {
+			start := p.Now()
+			for i := 0; i < n; i++ {
+				if err := c.Rename(fmt.Sprintf("/d0/f%d", i), fmt.Sprintf("%s/f%d", dst, i)); err != nil {
+					log.Fatal(err)
+				}
+			}
+			// Move the files back so the next round starts from /d0.
+			// The return renames share the forward direction's shard
+			// relationship (both local or both crossing), so averaging
+			// over all 2n renames keeps the comparison fair.
+			for i := 0; i < n; i++ {
+				if err := c.Rename(fmt.Sprintf("%s/f%d", dst, i), fmt.Sprintf("/d0/f%d", i)); err != nil {
+					log.Fatal(err)
+				}
+			}
+			return (p.Now() - start) / (2 * n)
+		}
+		same := measure(local)
+		cross := measure(remote)
+		fmt.Printf("   same-shard rename  %6d us\n", same.Microseconds())
+		fmt.Printf("   cross-shard rename %6d us  (%.1fx: migrate over the MDS interconnect)\n",
+			cross.Microseconds(), float64(cross)/float64(same))
+	})
+	if err := k.Run(); err != nil {
+		log.Fatal(err)
+	}
+}

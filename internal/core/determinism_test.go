@@ -10,17 +10,36 @@ import (
 	"dmetabench/internal/cluster"
 	"dmetabench/internal/lustre"
 	"dmetabench/internal/nfs"
+	"dmetabench/internal/shard"
 	"dmetabench/internal/sim"
 )
 
 // runAndSave executes one canonical Runner experiment with the given seed
 // and returns the serialized result set as a map of file name to content.
-func runAndSave(t *testing.T, seed int64, wb bool) map[string]string {
+func runAndSave(t *testing.T, seed int64, mode string) map[string]string {
 	t.Helper()
 	k := sim.New(seed)
 	cl := cluster.New(k, cluster.DefaultConfig(2))
 	var r *Runner
-	if wb {
+	switch mode {
+	case "shard-hash", "shard-subtree":
+		cfg := shard.DefaultConfig(4)
+		if mode == "shard-subtree" {
+			cfg.Placement = shard.PlaceSubtree
+		}
+		r = &Runner{
+			Cluster:      cl,
+			FS:           shard.New(k, "meta", cfg),
+			Params:       Params{ProblemSize: 200, WorkDir: "/bench"},
+			SlotsPerNode: 2,
+			// ZipfDirFiles exercises broadcasts and skewed routing;
+			// RenameFiles adds the migrating cross-shard path.
+			Plugins: []Plugin{
+				ZipfDirFiles{Projects: 6, SubdirsPerProject: 4, Skew: 1.4, MkdirEvery: 25},
+				MakeFiles{}, RenameFiles{},
+			},
+		}
+	case "lustre-writeback":
 		cfg := lustre.DefaultConfig()
 		cfg.Writeback = true
 		r = &Runner{
@@ -30,7 +49,7 @@ func runAndSave(t *testing.T, seed int64, wb bool) map[string]string {
 			SlotsPerNode: 2,
 			Plugins:      []Plugin{MakeFiles{}},
 		}
-	} else {
+	default:
 		r = &Runner{
 			Cluster: cl,
 			FS:      nfs.New(k, "home", nfs.DefaultConfig()),
@@ -67,20 +86,18 @@ func runAndSave(t *testing.T, seed int64, wb bool) map[string]string {
 // TestRunnerDeterministic is the safety net for the event-kernel fast
 // paths: two runs with the same seed must produce byte-identical
 // serialized result sets — identical traces, identical interval
-// sampling, identical environment. It covers both the synchronous NFS
-// model and the Lustre write-back model (daemon flushers, queues,
-// semaphore windows exercise every scheduling primitive).
+// sampling, identical environment. It covers the synchronous NFS model,
+// the Lustre write-back model (daemon flushers, queues, semaphore
+// windows exercise every scheduling primitive) and the sharded MDS
+// model under both placement policies (broadcast replication, peer
+// pools, Zipf routing and cross-shard migrates).
 func TestRunnerDeterministic(t *testing.T) {
-	for _, tc := range []struct {
-		name string
-		wb   bool
-	}{
-		{"nfs-timed", false},
-		{"lustre-writeback", true},
+	for _, mode := range []string{
+		"nfs-timed", "lustre-writeback", "shard-hash", "shard-subtree",
 	} {
-		t.Run(tc.name, func(t *testing.T) {
-			a := runAndSave(t, 77, tc.wb)
-			b := runAndSave(t, 77, tc.wb)
+		t.Run(mode, func(t *testing.T) {
+			a := runAndSave(t, 77, mode)
+			b := runAndSave(t, 77, mode)
 			if len(a) != len(b) {
 				t.Fatalf("file counts differ: %d vs %d", len(a), len(b))
 			}

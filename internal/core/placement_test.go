@@ -1,0 +1,147 @@
+package core
+
+import "testing"
+
+// Placement discovery (Fig. 3.9) has three edge cases the experiments
+// rely on implicitly: the master tie-break on equal slot counts, the
+// removal of a node whose only slot became the master, and the
+// round-robin worker order when nodes contribute unequal slot counts.
+
+func TestDiscoverMasterTieBreak(t *testing.T) {
+	// Equal slot counts everywhere: the master must come from the first
+	// node in appearance order, and it takes that node's last slot.
+	slots := UniformSlots([]string{"n0", "n1", "n2"}, 2)
+	p, err := Discover(slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Master.Node != "n0" {
+		t.Errorf("master on %s, want n0 (first node on tie)", p.Master.Node)
+	}
+	if p.Master.SlotOnNode != 1 {
+		t.Errorf("master took slot %d of its node, want the last (1)", p.Master.SlotOnNode)
+	}
+	// Every node keeps its remaining workers.
+	if len(p.Workers) != 5 {
+		t.Errorf("worker count = %d, want 5", len(p.Workers))
+	}
+	if len(p.PerNode["n0"]) != 1 || len(p.PerNode["n1"]) != 2 || len(p.PerNode["n2"]) != 2 {
+		t.Errorf("per-node worker counts = %d/%d/%d, want 1/2/2",
+			len(p.PerNode["n0"]), len(p.PerNode["n1"]), len(p.PerNode["n2"]))
+	}
+}
+
+func TestDiscoverMasterNodeRemovedWhenLastSlotTaken(t *testing.T) {
+	// The big node has the single largest slot count but only one slot:
+	// after the master claims it the node must vanish from the worker
+	// ordering entirely.
+	slots := []Slot{
+		{Node: "small0", NodeIndex: 0, SlotOnNode: 0, GlobalID: 0},
+		{Node: "big", NodeIndex: 1, SlotOnNode: 0, GlobalID: 1},
+		{Node: "big", NodeIndex: 1, SlotOnNode: 1, GlobalID: 2},
+	}
+	// "big" has 2 slots vs 1 — master goes there; removing one slot
+	// leaves one worker on big.
+	p, err := Discover(slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Master.Node != "big" {
+		t.Fatalf("master on %s, want big", p.Master.Node)
+	}
+	if len(p.PerNode["big"]) != 1 {
+		t.Errorf("big retains %d workers, want 1", len(p.PerNode["big"]))
+	}
+
+	// Now give big exactly one slot: the master consumes it and the
+	// node must be deleted from PerNode and NodeOrder.
+	slots = []Slot{
+		{Node: "a", NodeIndex: 0, SlotOnNode: 0, GlobalID: 0},
+		{Node: "solo", NodeIndex: 1, SlotOnNode: 0, GlobalID: 1},
+		{Node: "solo", NodeIndex: 1, SlotOnNode: 1, GlobalID: 2},
+		{Node: "b", NodeIndex: 2, SlotOnNode: 0, GlobalID: 3},
+	}
+	// solo has the most slots (2); master takes its last slot, one
+	// worker remains.
+	p, err = Discover(slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Master.Node != "solo" {
+		t.Fatalf("master on %s, want solo", p.Master.Node)
+	}
+
+	// Single-slot master node: build it explicitly with a tie the first
+	// node wins, then verify removal.
+	slots = []Slot{
+		{Node: "only", NodeIndex: 0, SlotOnNode: 0, GlobalID: 0},
+		{Node: "w", NodeIndex: 1, SlotOnNode: 0, GlobalID: 1},
+	}
+	p, err = Discover(slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Master.Node != "only" {
+		t.Fatalf("master on %s, want only", p.Master.Node)
+	}
+	if _, ok := p.PerNode["only"]; ok {
+		t.Error("master's emptied node still present in PerNode")
+	}
+	for _, n := range p.NodeOrder {
+		if n == "only" {
+			t.Error("master's emptied node still present in NodeOrder")
+		}
+	}
+	if len(p.Workers) != 1 || p.Workers[0].Node != "w" {
+		t.Errorf("workers = %+v, want the single slot on w", p.Workers)
+	}
+}
+
+func TestDiscoverRoundRobinOnUnevenNodes(t *testing.T) {
+	// n0: 3 slots, n1: 1 slot, n2: 2 slots, plus a 4-slot master node.
+	// Worker order must be round-robin across nodes (first one worker
+	// per node, then the second from each node that still has one, ...).
+	var slots []Slot
+	add := func(node string, idx, count int) {
+		for s := 0; s < count; s++ {
+			slots = append(slots, Slot{Node: node, NodeIndex: idx, SlotOnNode: s,
+				GlobalID: len(slots)})
+		}
+	}
+	add("n0", 0, 3)
+	add("n1", 1, 1)
+	add("n2", 2, 2)
+	add("m", 3, 4) // most slots: master lives here
+	p, err := Discover(slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Master.Node != "m" {
+		t.Fatalf("master on %s, want m", p.Master.Node)
+	}
+	var got []string
+	for _, w := range p.Workers {
+		got = append(got, w.Node)
+	}
+	want := []string{
+		"n0", "n1", "n2", "m", // round 0: one from every node
+		"n0", "n2", "m", // round 1: n1 exhausted
+		"n0", "m", // round 2: n2 exhausted
+	}
+	if len(got) != len(want) {
+		t.Fatalf("worker order %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("worker order %v, want %v", got, want)
+		}
+	}
+	// Within one node the slots must appear in on-node order.
+	seen := map[string]int{}
+	for _, w := range p.Workers {
+		if w.SlotOnNode < seen[w.Node] {
+			t.Errorf("node %s slots out of order", w.Node)
+		}
+		seen[w.Node] = w.SlotOnNode
+	}
+}

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"math/rand"
+	"strconv"
 
 	"dmetabench/internal/fs"
 )
@@ -367,9 +369,185 @@ func PluginByName(name string) (Plugin, error) {
 		return ReadDirStatFiles{}, nil
 	case "RenameFiles":
 		return RenameFiles{}, nil
+	case "ZipfDirFiles":
+		return ZipfDirFiles{}, nil
 	default:
 		return nil, fmt.Errorf("unknown benchmark operation %q", name)
 	}
+}
+
+// ZipfDirFiles models hot-directory skew: Projects top-level project
+// subtrees each hold SubdirsPerProject directories; every operation
+// draws a project — Zipf(Skew) when Skew > 1, uniform otherwise — picks
+// a subdirectory uniformly, and creates a file there. When MkdirEvery
+// is positive the process additionally creates a fresh directory in the
+// chosen project every MkdirEvery files, so namespace mutations stay
+// part of the steady-state load. The draw sequence is seeded per rank,
+// so identically-configured runs replay identical workloads.
+//
+// The project tree lives under Params.WorkDir ("/zp<j>" directly at
+// the root when WorkDir is "/"). The plugin probes placement policies
+// of partitioned metadata services: subtree placement keeps whole
+// projects on one server (popular project = hot server), hash
+// placement spreads a project's directories but pays for replicated
+// directory mutations.
+type ZipfDirFiles struct {
+	Projects          int
+	SubdirsPerProject int
+	Skew              float64
+	MkdirEvery        int
+}
+
+// Name implements Plugin.
+func (ZipfDirFiles) Name() string { return "ZipfDirFiles" }
+
+// zipfRoot returns the prefix the project tree lives under: the run's
+// working directory, with "/" collapsing to the empty prefix so project
+// subtrees sit at the namespace root (the placement-policy experiments
+// rely on projects being top-level subtrees).
+func zipfRoot(c *Ctx) string {
+	if c.Params.WorkDir == "/" {
+		return ""
+	}
+	return c.Params.WorkDir
+}
+
+// zipfProjDir returns "<root>/zp<j>".
+func zipfProjDir(root string, j int) string {
+	b := make([]byte, 0, len(root)+16)
+	b = append(b, root...)
+	b = append(b, "/zp"...)
+	b = strconv.AppendInt(b, int64(j), 10)
+	return string(b)
+}
+
+// zipfSubDir returns "<root>/zp<j>/sd<s>".
+func zipfSubDir(root string, j, s int) string {
+	b := make([]byte, 0, len(root)+24)
+	b = append(b, root...)
+	b = append(b, "/zp"...)
+	b = strconv.AppendInt(b, int64(j), 10)
+	b = append(b, "/sd"...)
+	b = strconv.AppendInt(b, int64(s), 10)
+	return string(b)
+}
+
+// zipfFileName returns "<root>/zp<j>/sd<s>/r<rank>-<i>".
+func zipfFileName(root string, j, s, rank, i int) string {
+	b := make([]byte, 0, len(root)+40)
+	b = append(b, root...)
+	b = append(b, "/zp"...)
+	b = strconv.AppendInt(b, int64(j), 10)
+	b = append(b, "/sd"...)
+	b = strconv.AppendInt(b, int64(s), 10)
+	b = append(b, "/r"...)
+	b = strconv.AppendInt(b, int64(rank), 10)
+	b = append(b, '-')
+	b = strconv.AppendInt(b, int64(i), 10)
+	return string(b)
+}
+
+// zipfExtraDir returns "<root>/zp<j>/x<rank>-<n>" for steady-state
+// mkdirs.
+func zipfExtraDir(root string, j, rank, n int) string {
+	b := make([]byte, 0, len(root)+32)
+	b = append(b, root...)
+	b = append(b, "/zp"...)
+	b = strconv.AppendInt(b, int64(j), 10)
+	b = append(b, "/x"...)
+	b = strconv.AppendInt(b, int64(rank), 10)
+	b = append(b, '-')
+	b = strconv.AppendInt(b, int64(n), 10)
+	return string(b)
+}
+
+func (z ZipfDirFiles) projects() int {
+	if z.Projects > 0 {
+		return z.Projects
+	}
+	return 8
+}
+
+func (z ZipfDirFiles) subdirs() int {
+	if z.SubdirsPerProject > 0 {
+		return z.SubdirsPerProject
+	}
+	return 8
+}
+
+// Prepare creates the project tree; projects are partitioned across
+// ranks so every directory is created exactly once.
+func (z ZipfDirFiles) Prepare(c *Ctx) error {
+	root := zipfRoot(c)
+	if root != "" {
+		if err := MkdirAll(c.FS, root); err != nil {
+			return err
+		}
+	}
+	for j := 0; j < z.projects(); j++ {
+		if j%c.Workers != c.Rank {
+			continue
+		}
+		if err := c.FS.Mkdir(zipfProjDir(root, j)); err != nil && !fs.IsExist(err) {
+			return err
+		}
+		for s := 0; s < z.subdirs(); s++ {
+			if err := c.FS.Mkdir(zipfSubDir(root, j, s)); err != nil && !fs.IsExist(err) {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// DoBench creates ProblemSize files into Zipf- or uniformly-chosen
+// directories, mixing in mkdirs when configured.
+func (z ZipfDirFiles) DoBench(c *Ctx) error {
+	rng := rand.New(rand.NewSource(int64(40000 + c.Rank)))
+	var zipf *rand.Zipf
+	if z.Skew > 1 {
+		zipf = rand.NewZipf(rng, z.Skew, 1, uint64(z.projects()-1))
+	}
+	root := zipfRoot(c)
+	made := 0
+	for i := 0; i < c.Params.ProblemSize; i++ {
+		if c.Deadline > 0 && c.Expired() {
+			return nil
+		}
+		var j int
+		if zipf != nil {
+			j = int(zipf.Uint64())
+		} else {
+			j = rng.Intn(z.projects())
+		}
+		s := rng.Intn(z.subdirs())
+		if err := c.FS.Create(zipfFileName(root, j, s, c.Rank, i)); err != nil {
+			return err
+		}
+		c.Tick()
+		if z.MkdirEvery > 0 && (i+1)%z.MkdirEvery == 0 {
+			if err := c.FS.Mkdir(zipfExtraDir(root, j, c.Rank, made)); err != nil && !fs.IsExist(err) {
+				return err
+			}
+			made++
+		}
+	}
+	return nil
+}
+
+// Cleanup removes the project subtrees, partitioned across ranks like
+// Prepare.
+func (z ZipfDirFiles) Cleanup(c *Ctx) error {
+	root := zipfRoot(c)
+	for j := 0; j < z.projects(); j++ {
+		if j%c.Workers != c.Rank {
+			continue
+		}
+		if err := RemoveAll(c.FS, zipfProjDir(root, j)); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ReadDirStatFiles models the data-management scan pattern of §2.8.3

@@ -92,6 +92,9 @@ func All() []Experiment {
 		{"E13", E13NamespaceAggregation},
 		{"E14", E14AFS},
 		{"E15", E15WritebackCaching},
+		{"E16", E16ShardScaling},
+		{"E17", E17ShardSkew},
+		{"E18", E18CrossShard},
 	}
 }
 

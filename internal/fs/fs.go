@@ -102,6 +102,22 @@ func ParentDir(p string) string {
 	}
 }
 
+// TopComponent returns the first path component of a clean absolute
+// path: "a" for "/a/b/c", "a" for "/a", "" for "/" or paths without a
+// leading slash. Namespace-partitioned file systems route requests by
+// the top-level subtree, so like ParentDir this sits on the
+// per-operation routing hot path and avoids a full Split.
+func TopComponent(p string) string {
+	if len(p) == 0 || p[0] != '/' {
+		return ""
+	}
+	i := 1
+	for i < len(p) && p[i] != '/' {
+		i++
+	}
+	return p[1:i]
+}
+
 // FileType distinguishes the inode kinds the benchmark handles.
 type FileType uint8
 

@@ -125,3 +125,19 @@ func TestCreateHighLevelVsDirect(t *testing.T) {
 		t.Fatalf("direct total = %d", d.N.Total())
 	}
 }
+
+func TestTopComponent(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"/a/b/c", "a"},
+		{"/a", "a"},
+		{"/", ""},
+		{"", ""},
+		{"rel/path", ""},
+		{"/bench/MakeFiles-n8-p16/p000", "bench"},
+	}
+	for _, c := range cases {
+		if got := TopComponent(c.in); got != c.want {
+			t.Errorf("TopComponent(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

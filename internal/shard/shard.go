@@ -1,0 +1,963 @@
+// Package shard models a sharded metadata service: the namespace of one
+// file system is partitioned across N simulated metadata servers (MDS),
+// the scaling step beyond the single-MDS systems the thesis measures
+// (Lustre's lone MDS in §4.3, the NFS filer of §4.1.2). Related work
+// motivates both placement policies it supports:
+//
+//   - PlaceSubtree partitions by top-level directory subtree, the
+//     Ontap-GX/volume style of §4.7: every operation under one subtree
+//     is served entirely by the owning shard, so path resolution stays
+//     local, but a popular subtree concentrates on one server.
+//   - PlaceHashDir partitions file entries by a hash of their parent
+//     directory (HopsFS-style partition pruning): directories are
+//     replicated on every shard so any shard can resolve paths, files
+//     of one directory live on exactly one shard, and directory
+//     mutations pay a synchronous broadcast to the other shards.
+//
+// Cross-shard operations are modeled as extra RPC hops over the MDS
+// interconnect: a rename whose source and destination directories live
+// on different shards runs as a migrate (insert at the destination,
+// remove at the source), and namespace-wide operations (root readdir
+// under subtree placement, directory broadcasts under hash placement)
+// visit peer shards one interconnect round trip at a time. Peer work is
+// served by a dedicated per-shard peer thread pool so forwarded requests
+// cannot form circular waits with the client-facing pools.
+package shard
+
+import (
+	"strconv"
+	"time"
+
+	"dmetabench/internal/clientcache"
+	"dmetabench/internal/cluster"
+	"dmetabench/internal/fs"
+	"dmetabench/internal/namespace"
+	"dmetabench/internal/sim"
+	"dmetabench/internal/simnet"
+	"dmetabench/internal/storage"
+)
+
+// Policy selects how the namespace is partitioned across shards.
+type Policy int
+
+// Placement policies.
+const (
+	// PlaceHashDir places a file on hash(parent directory) and
+	// replicates directories everywhere (HopsFS style).
+	PlaceHashDir Policy = iota
+	// PlaceSubtree places whole top-level subtrees on one shard
+	// (Ontap-GX volume style).
+	PlaceSubtree
+)
+
+func (p Policy) String() string {
+	if p == PlaceSubtree {
+		return "subtree"
+	}
+	return "hashdir"
+}
+
+// Config holds the tunables of the sharded MDS model. Per-shard service
+// times default to the FAS3050-class figures of the NFS model so shard
+// counts are comparable against the single-server baselines.
+type Config struct {
+	// NumShards is the metadata server count.
+	NumShards int
+	// Placement selects the partitioning policy.
+	Placement Policy
+	// ShardThreads is each shard's client-facing worker pool size.
+	ShardThreads int
+	// PeerThreads is each shard's pool for inter-MDS requests
+	// (broadcast replication, migrate inserts, peer readdir).
+	PeerThreads int
+	// OneWayLatency is the client<->shard network delay.
+	OneWayLatency time.Duration
+	// CrossShardLatency is the one-way delay of the MDS interconnect.
+	CrossShardLatency time.Duration
+	// CrossShardOverhead is the extra CPU charged on each side of a
+	// forwarded operation (marshalling, transaction bookkeeping).
+	CrossShardOverhead time.Duration
+
+	CreateService     time.Duration
+	GetattrService    time.Duration
+	LookupService     time.Duration
+	RemoveService     time.Duration
+	MkdirService      time.Duration
+	RenameService     time.Duration
+	ReaddirService    time.Duration
+	ReaddirPerEntry   time.Duration
+	WriteServicePerKB time.Duration
+
+	AttrTTL   time.Duration
+	DentryTTL time.Duration
+	DirIndex  namespace.DirIndex
+	WAFL      storage.WAFLConfig
+	// MetaLogBytes is the journal record size per namespace change.
+	MetaLogBytes int64
+	// SubtreeAssign pins top-level subtrees to shard indexes under
+	// PlaceSubtree — the administrative volume placement of §4.7.2.
+	// Subtrees not listed fall back to hashing their name.
+	SubtreeAssign map[string]int
+}
+
+// DefaultConfig returns an n-shard configuration with per-shard service
+// times matching the single-server NFS defaults.
+func DefaultConfig(n int) Config {
+	return Config{
+		NumShards:          n,
+		Placement:          PlaceHashDir,
+		ShardThreads:       4,
+		PeerThreads:        2,
+		OneWayLatency:      250 * time.Microsecond,
+		CrossShardLatency:  80 * time.Microsecond,
+		CrossShardOverhead: 45 * time.Microsecond,
+		CreateService:      150 * time.Microsecond,
+		GetattrService:     40 * time.Microsecond,
+		LookupService:      40 * time.Microsecond,
+		RemoveService:      140 * time.Microsecond,
+		MkdirService:       180 * time.Microsecond,
+		RenameService:      180 * time.Microsecond,
+		ReaddirService:     120 * time.Microsecond,
+		ReaddirPerEntry:    800 * time.Nanosecond,
+		WriteServicePerKB:  30 * time.Microsecond,
+		AttrTTL:            3 * time.Second,
+		DentryTTL:          30 * time.Second,
+		DirIndex:           namespace.IndexHash,
+		WAFL:               storage.DefaultWAFLConfig(),
+		MetaLogBytes:       320,
+	}
+}
+
+// shardSrv is one metadata server: its authoritative namespace slice,
+// client-facing and peer thread pools, journal and directory locks.
+type shardSrv struct {
+	index int
+	srv   *simnet.Server
+	peer  *simnet.Server
+	wafl  *storage.WAFL
+	ns    *namespace.Namespace
+	locks map[fs.Ino]*sim.Mutex
+	ops   int64
+}
+
+// FS is one sharded metadata file system.
+type FS struct {
+	k   *sim.Kernel
+	cfg Config
+
+	shards []*shardSrv
+	conns  map[connKey]*simnet.Conn
+	nodes  map[*cluster.Node]*nodeState
+
+	rpcs int64
+	// CrossCount counts operations that crossed the MDS interconnect
+	// (migrating renames, peer readdirs, one per broadcast replica).
+	CrossCount int64
+	// BroadcastCount counts directory mutations that were replicated to
+	// the other shards (hash placement only).
+	BroadcastCount int64
+}
+
+type connKey struct {
+	node  *cluster.Node
+	shard int
+}
+
+type nodeState struct {
+	attrs    *clientcache.AttrCache
+	dentries *clientcache.DentryCache
+}
+
+// New creates a sharded metadata service on kernel k.
+func New(k *sim.Kernel, name string, cfg Config) *FS {
+	if cfg.NumShards < 1 {
+		cfg.NumShards = 1
+	}
+	f := &FS{
+		k:     k,
+		cfg:   cfg,
+		conns: make(map[connKey]*simnet.Conn),
+		nodes: make(map[*cluster.Node]*nodeState),
+	}
+	for i := 0; i < cfg.NumShards; i++ {
+		id := name + "-" + strconv.Itoa(i)
+		f.shards = append(f.shards, &shardSrv{
+			index: i,
+			srv:   simnet.NewServer(k, "mds:"+id, cfg.ShardThreads),
+			peer:  simnet.NewServer(k, "mdspeer:"+id, cfg.PeerThreads),
+			wafl:  storage.NewWAFL(k, "mds:"+id, cfg.WAFL),
+			ns:    namespace.New(),
+			locks: make(map[fs.Ino]*sim.Mutex),
+		})
+	}
+	return f
+}
+
+// Name identifies the model in results and charts.
+func (f *FS) Name() string {
+	return "shard" + strconv.Itoa(len(f.shards)) + "-" + f.cfg.Placement.String()
+}
+
+// NumShards returns the shard count.
+func (f *FS) NumShards() int { return len(f.shards) }
+
+// RPCCount returns the number of client RPCs served.
+func (f *FS) RPCCount() int64 { return f.rpcs }
+
+// ShardOps returns the per-shard count of client operations served,
+// the load-balance view the skew experiments report.
+func (f *FS) ShardOps() []int64 {
+	out := make([]int64, len(f.shards))
+	for i, sh := range f.shards {
+		out[i] = sh.ops
+	}
+	return out
+}
+
+// Namespace exposes shard i's authoritative namespace (tests, fsck).
+func (f *FS) Namespace(i int) *namespace.Namespace { return f.shards[i].ns }
+
+// hashString is FNV-1a; the routing hash must be stable across runs so
+// identically-seeded simulations shard identically.
+func hashString(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// ShardOfEntry returns the index of the shard serving the entry at p.
+func (f *FS) ShardOfEntry(p string) int { return f.ownerOf(p).index }
+
+// ShardOfDir returns the index of the shard holding the file contents
+// of directory dir (-1 when the directory spans shards: the root under
+// subtree placement).
+func (f *FS) ShardOfDir(dir string) int {
+	sh := f.contentOf(dir)
+	if sh == nil {
+		return -1
+	}
+	return sh.index
+}
+
+// ownerOf returns the shard serving the directory entry at path p: the
+// shard of p's top-level subtree, or the shard hashing p's parent
+// directory.
+func (f *FS) ownerOf(p string) *shardSrv {
+	if f.cfg.Placement == PlaceSubtree {
+		top := fs.TopComponent(p)
+		if top == "" {
+			return f.shards[0]
+		}
+		return f.shards[f.subtreeShard(top)]
+	}
+	return f.shards[hashString(fs.ParentDir(p))%uint32(len(f.shards))]
+}
+
+// subtreeShard resolves a top-level subtree to its shard: pinned
+// placement when configured, hash of the name otherwise.
+func (f *FS) subtreeShard(top string) int {
+	if i, ok := f.cfg.SubtreeAssign[top]; ok {
+		return i % len(f.shards)
+	}
+	return int(hashString(top) % uint32(len(f.shards)))
+}
+
+// contentOf returns the shard holding the file entries of directory
+// dir, or nil when the directory spans every shard (the root under
+// subtree placement, whose top-level entries are partitioned).
+func (f *FS) contentOf(dir string) *shardSrv {
+	if f.cfg.Placement == PlaceSubtree {
+		top := fs.TopComponent(dir)
+		if top == "" {
+			return nil
+		}
+		return f.shards[f.subtreeShard(top)]
+	}
+	return f.shards[hashString(dir)%uint32(len(f.shards))]
+}
+
+func (f *FS) conn(n *cluster.Node, sh *shardSrv) *simnet.Conn {
+	key := connKey{n, sh.index}
+	c, ok := f.conns[key]
+	if !ok {
+		c = simnet.NewConn(f.k, sh.srv, f.cfg.OneWayLatency, 0)
+		f.conns[key] = c
+	}
+	return c
+}
+
+func (f *FS) nodeState(n *cluster.Node) *nodeState {
+	s, ok := f.nodes[n]
+	if !ok {
+		s = &nodeState{
+			attrs:    clientcache.NewAttrCache(f.cfg.AttrTTL, f.k.Now),
+			dentries: clientcache.NewDentryCache(f.cfg.DentryTTL, f.k.Now),
+		}
+		f.nodes[n] = s
+	}
+	return s
+}
+
+func (sh *shardSrv) dirLock(k *sim.Kernel, ino fs.Ino) *sim.Mutex {
+	m, ok := sh.locks[ino]
+	if !ok {
+		m = sim.NewMutex(k, "mdsdir:"+strconv.Itoa(sh.index)+":"+strconv.FormatUint(uint64(ino), 10))
+		sh.locks[ino] = m
+	}
+	return m
+}
+
+// charge sleeps the service cost of one operation at sh: the base time
+// scaled by the shard's consistency-point factor and, when dirEntries is
+// non-negative, by the directory-index entry cost.
+func (f *FS) charge(p *sim.Proc, sh *shardSrv, base time.Duration, dirEntries int) {
+	cost := float64(base) * sh.wafl.ServiceFactor()
+	if dirEntries >= 0 {
+		cost *= f.cfg.DirIndex.EntryCost(dirEntries)
+	}
+	p.Sleep(time.Duration(cost))
+}
+
+// service is charge plus client-RPC accounting.
+func (f *FS) service(p *sim.Proc, sh *shardSrv, base time.Duration, dirEntries int) {
+	f.charge(p, sh, base, dirEntries)
+	f.rpcs++
+	sh.ops++
+}
+
+// hop performs one synchronous MDS-to-MDS call while serving a request:
+// coordination CPU on the caller, the interconnect round trip, and body
+// running on the destination's peer pool (never its client pool, so
+// forwarded work cannot deadlock against incoming requests).
+func (f *FS) hop(sp *sim.Proc, dst *shardSrv, body func(q *sim.Proc)) {
+	f.CrossCount++
+	sp.Sleep(f.cfg.CrossShardOverhead)
+	sp.Sleep(f.cfg.CrossShardLatency)
+	dst.peer.Do(sp, func(q *sim.Proc) {
+		q.Sleep(f.cfg.CrossShardOverhead)
+		body(q)
+	})
+	sp.Sleep(f.cfg.CrossShardLatency)
+}
+
+// replicate propagates a successful directory mutation to every other
+// shard (hash placement keeps the directory tree replicated). The state
+// change commits on all replicas at the primary's apply time — the
+// mutation is atomic across shards, like a transactional metadata
+// store, so a concurrent request routed to a replica can never observe
+// the directory tree mid-broadcast — while the caller still pays the
+// full interconnect and replica service cost before its RPC returns.
+func (f *FS) replicate(sp *sim.Proc, primary *shardSrv, svc time.Duration, apply func(ns *namespace.Namespace, now time.Duration)) {
+	if f.cfg.Placement != PlaceHashDir || len(f.shards) == 1 {
+		return
+	}
+	f.BroadcastCount++
+	now := sp.Now()
+	for _, sh := range f.shards {
+		if sh != primary {
+			apply(sh.ns, now)
+		}
+	}
+	for _, sh := range f.shards {
+		if sh == primary {
+			continue
+		}
+		sh := sh
+		f.hop(sp, sh, func(q *sim.Proc) {
+			f.charge(q, sh, svc, -1)
+			sh.wafl.LogMetadata(q, f.cfg.MetaLogBytes)
+		})
+	}
+}
+
+// NewClient binds a client for one process on one node.
+func (f *FS) NewClient(node *cluster.Node, p *sim.Proc) fs.Client {
+	return &client{fsys: f, node: node, p: p, handles: make(map[fs.Handle]*openFile)}
+}
+
+type openFile struct {
+	path    string
+	sh      *shardSrv
+	ino     fs.Ino
+	size    int64
+	written int64
+	dirty   bool
+}
+
+type client struct {
+	fsys    *FS
+	node    *cluster.Node
+	p       *sim.Proc
+	nextFH  fs.Handle
+	handles map[fs.Handle]*openFile
+}
+
+func (c *client) cfg() Config    { return c.fsys.cfg }
+func (c *client) st() *nodeState { return c.fsys.nodeState(c.node) }
+
+// resolveParents walks the strict ancestors of p through the dentry
+// cache, issuing one LOOKUP RPC to the owning shard per missing
+// component. Under subtree placement every ancestor of a path shares
+// its top-level component, so a cold walk stays on one shard; under
+// hash placement the lookups scatter across the cluster.
+func (c *client) resolveParents(p string) error {
+	f := c.fsys
+	cfg := c.cfg()
+	st := c.st()
+	for i := 1; i < len(p); i++ {
+		if p[i] != '/' {
+			continue
+		}
+		prefix := p[:i]
+		if _, neg, ok := st.dentries.Lookup(prefix); ok {
+			if neg {
+				return fs.NewError("lookup", prefix, fs.ENOENT)
+			}
+			continue
+		}
+		sh := f.ownerOf(prefix)
+		var err error
+		f.conn(c.node, sh).Call(c.p, 120, 140, func(sp *sim.Proc) {
+			f.service(sp, sh, cfg.LookupService, -1)
+			var a fs.Attr
+			a, err = sh.ns.Stat(prefix)
+			if err == nil {
+				st.dentries.PutPositive(prefix, a.Ino)
+				st.attrs.Put(prefix, a)
+			} else {
+				st.dentries.PutNegative(prefix)
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cacheEntry refreshes the node caches for p from its owning shard's
+// namespace (client-side bookkeeping, no simulated cost).
+func (c *client) cacheEntry(p string) {
+	sh := c.fsys.ownerOf(p)
+	if a, err := sh.ns.Stat(p); err == nil {
+		st := c.st()
+		st.attrs.Put(p, a)
+		st.dentries.PutPositive(p, a.Ino)
+	}
+}
+
+// Create issues one CREATE RPC to the shard owning the parent
+// directory's files.
+func (c *client) Create(p string) error {
+	f := c.fsys
+	cfg := c.cfg()
+	c.node.Syscall(c.p)
+	if err := c.resolveParents(p); err != nil {
+		return err
+	}
+	imutex := c.node.DirLock(fs.ParentDir(p))
+	imutex.Lock(c.p)
+	defer imutex.Unlock()
+
+	sh := f.ownerOf(p)
+	var err error
+	f.conn(c.node, sh).Call(c.p, 160, 160, func(sp *sim.Proc) {
+		if dir, lerr := sh.ns.Lookup(fs.ParentDir(p)); lerr == nil {
+			lock := sh.dirLock(f.k, dir.Ino)
+			lock.Lock(sp)
+			defer lock.Unlock()
+			f.service(sp, sh, cfg.CreateService, dir.NumChildren())
+		} else {
+			f.service(sp, sh, cfg.CreateService, -1)
+		}
+		_, err = sh.ns.Create(p, 0o644, sp.Now())
+		if err == nil {
+			sh.wafl.LogMetadata(sp, cfg.MetaLogBytes)
+		}
+	})
+	if err != nil {
+		if fs.IsExist(err) {
+			c.cacheEntry(p)
+		}
+		return err
+	}
+	c.cacheEntry(p)
+	return nil
+}
+
+// Mkdir creates a directory at its owning shard; under hash placement
+// the mutation then replicates synchronously to every other shard.
+func (c *client) Mkdir(p string) error {
+	f := c.fsys
+	cfg := c.cfg()
+	c.node.Syscall(c.p)
+	if err := c.resolveParents(p); err != nil {
+		return err
+	}
+	imutex := c.node.DirLock(fs.ParentDir(p))
+	imutex.Lock(c.p)
+	defer imutex.Unlock()
+
+	sh := f.ownerOf(p)
+	var err error
+	f.conn(c.node, sh).Call(c.p, 150, 140, func(sp *sim.Proc) {
+		if dir, lerr := sh.ns.Lookup(fs.ParentDir(p)); lerr == nil {
+			lock := sh.dirLock(f.k, dir.Ino)
+			lock.Lock(sp)
+			f.service(sp, sh, cfg.MkdirService, dir.NumChildren())
+			lock.Unlock()
+		} else {
+			f.service(sp, sh, cfg.MkdirService, -1)
+		}
+		_, err = sh.ns.Mkdir(p, 0o755, sp.Now())
+		if err == nil {
+			sh.wafl.LogMetadata(sp, cfg.MetaLogBytes)
+			f.replicate(sp, sh, cfg.MkdirService, func(ns *namespace.Namespace, now time.Duration) {
+				ns.Mkdir(p, 0o755, now)
+			})
+		}
+	})
+	if err != nil {
+		if fs.IsExist(err) {
+			c.cacheEntry(p)
+		}
+		return err
+	}
+	c.cacheEntry(p)
+	return nil
+}
+
+// Rmdir removes a directory. The emptiness check runs on the shard
+// holding the directory's files; under hash placement the removal then
+// replicates to the other shards.
+func (c *client) Rmdir(p string) error {
+	f := c.fsys
+	cfg := c.cfg()
+	c.node.Syscall(c.p)
+	if err := c.resolveParents(p); err != nil {
+		return err
+	}
+	imutex := c.node.DirLock(fs.ParentDir(p))
+	imutex.Lock(c.p)
+	defer imutex.Unlock()
+
+	sh := f.contentOf(p)
+	if sh == nil {
+		return fs.NewError("rmdir", p, fs.EINVAL)
+	}
+	var err error
+	f.conn(c.node, sh).Call(c.p, 150, 140, func(sp *sim.Proc) {
+		f.service(sp, sh, cfg.RemoveService, -1)
+		err = sh.ns.Rmdir(p, sp.Now())
+		if err == nil {
+			sh.wafl.LogMetadata(sp, cfg.MetaLogBytes)
+			f.replicate(sp, sh, cfg.RemoveService, func(ns *namespace.Namespace, now time.Duration) {
+				ns.Rmdir(p, now)
+			})
+		}
+	})
+	if err == nil {
+		st := c.st()
+		st.attrs.Invalidate(p)
+		st.dentries.Invalidate(p)
+	}
+	return err
+}
+
+// Unlink removes a file at the shard owning its parent directory.
+func (c *client) Unlink(p string) error {
+	f := c.fsys
+	cfg := c.cfg()
+	c.node.Syscall(c.p)
+	if err := c.resolveParents(p); err != nil {
+		return err
+	}
+	imutex := c.node.DirLock(fs.ParentDir(p))
+	imutex.Lock(c.p)
+	defer imutex.Unlock()
+
+	sh := f.ownerOf(p)
+	var err error
+	f.conn(c.node, sh).Call(c.p, 150, 140, func(sp *sim.Proc) {
+		if dir, lerr := sh.ns.Lookup(fs.ParentDir(p)); lerr == nil {
+			lock := sh.dirLock(f.k, dir.Ino)
+			lock.Lock(sp)
+			defer lock.Unlock()
+			f.service(sp, sh, cfg.RemoveService, dir.NumChildren())
+		} else {
+			f.service(sp, sh, cfg.RemoveService, -1)
+		}
+		err = sh.ns.Unlink(p, sp.Now())
+		if err == nil {
+			sh.wafl.LogMetadata(sp, cfg.MetaLogBytes)
+		}
+	})
+	if err == nil {
+		st := c.st()
+		st.attrs.Invalidate(p)
+		st.dentries.Invalidate(p)
+	}
+	return err
+}
+
+// Rename is atomic on one shard when both parents are served there.
+// When they are not, the file migrates: validate at the source shard,
+// one interconnect hop to insert at the destination, then the removal
+// at the source — the cross-shard cost E18 measures. Directory renames
+// do not migrate: under hash placement every descendant's partition key
+// embeds the directory path, so renaming a directory would re-home its
+// files and invalidate its replicas — it returns EXDEV like any
+// multi-device rename (§2.6.3), as does any rename whose source is not
+// a regular file crossing a shard boundary. Under subtree placement a
+// directory rename inside one subtree stays local and is allowed.
+func (c *client) Rename(oldPath, newPath string) error {
+	f := c.fsys
+	cfg := c.cfg()
+	c.node.Syscall(c.p)
+	if err := c.resolveParents(oldPath); err != nil {
+		return err
+	}
+	if err := c.resolveParents(newPath); err != nil {
+		return err
+	}
+	imutex := c.node.DirLock(fs.ParentDir(oldPath))
+	imutex.Lock(c.p)
+	defer imutex.Unlock()
+
+	src := f.ownerOf(oldPath)
+	dst := f.ownerOf(newPath)
+	var err error
+	if src == dst {
+		f.conn(c.node, src).Call(c.p, 150, 140, func(sp *sim.Proc) {
+			if dir, lerr := src.ns.Lookup(fs.ParentDir(oldPath)); lerr == nil {
+				lock := src.dirLock(f.k, dir.Ino)
+				lock.Lock(sp)
+				defer lock.Unlock()
+				f.service(sp, src, cfg.RenameService, dir.NumChildren())
+			} else {
+				f.service(sp, src, cfg.RenameService, -1)
+			}
+			if f.cfg.Placement == PlaceHashDir && len(f.shards) > 1 {
+				// Renaming a directory would strand its hashed files
+				// and stale the replicated tree on the other shards.
+				var a fs.Attr
+				a, err = src.ns.Stat(oldPath)
+				if err != nil {
+					return
+				}
+				if a.Type == fs.TypeDirectory {
+					err = fs.NewError("rename", newPath, fs.EXDEV)
+					return
+				}
+			}
+			err = src.ns.Rename(oldPath, newPath, sp.Now())
+			if err == nil {
+				src.wafl.LogMetadata(sp, cfg.MetaLogBytes)
+			}
+		})
+	} else {
+		f.conn(c.node, src).Call(c.p, 150, 140, func(sp *sim.Proc) {
+			f.service(sp, src, cfg.RenameService, -1)
+			var a fs.Attr
+			a, err = src.ns.Stat(oldPath)
+			if err != nil {
+				return
+			}
+			if a.Type != fs.TypeRegular {
+				err = fs.NewError("rename", newPath, fs.EXDEV)
+				return
+			}
+			// Phase 1: insert at the destination shard.
+			f.hop(sp, dst, func(q *sim.Proc) {
+				f.charge(q, dst, cfg.RenameService, -1)
+				if derr := dst.ns.Unlink(newPath, q.Now()); derr != nil && !fs.IsNotExist(derr) {
+					err = derr
+					return
+				}
+				var ni *namespace.Inode
+				ni, err = dst.ns.Create(newPath, a.Mode, q.Now())
+				if err == nil {
+					if a.Size > 0 {
+						dst.ns.SetSize(ni.Ino, a.Size, q.Now())
+					}
+					dst.wafl.LogMetadata(q, cfg.MetaLogBytes)
+				}
+			})
+			if err != nil {
+				return
+			}
+			// Phase 2: remove at the source shard.
+			f.charge(sp, src, cfg.RemoveService, -1)
+			err = src.ns.Unlink(oldPath, sp.Now())
+			if err == nil {
+				src.wafl.LogMetadata(sp, cfg.MetaLogBytes)
+			}
+		})
+	}
+	if err == nil {
+		st := c.st()
+		st.attrs.Invalidate(oldPath)
+		st.dentries.Invalidate(oldPath)
+		c.cacheEntry(newPath)
+	}
+	return err
+}
+
+// Link creates a hard link when both names are served by one shard;
+// cross-shard hard links are not supported (EXDEV), matching systems
+// whose inodes are keyed by partition.
+func (c *client) Link(oldPath, newPath string) error {
+	f := c.fsys
+	cfg := c.cfg()
+	c.node.Syscall(c.p)
+	if err := c.resolveParents(newPath); err != nil {
+		return err
+	}
+	src := f.ownerOf(oldPath)
+	dst := f.ownerOf(newPath)
+	if src != dst {
+		return fs.NewError("link", newPath, fs.EXDEV)
+	}
+	imutex := c.node.DirLock(fs.ParentDir(newPath))
+	imutex.Lock(c.p)
+	defer imutex.Unlock()
+	var err error
+	f.conn(c.node, dst).Call(c.p, 150, 140, func(sp *sim.Proc) {
+		f.service(sp, dst, cfg.CreateService, -1)
+		err = dst.ns.Link(oldPath, newPath, sp.Now())
+		if err == nil {
+			dst.wafl.LogMetadata(sp, cfg.MetaLogBytes)
+		}
+	})
+	if err == nil {
+		c.cacheEntry(newPath)
+	}
+	return err
+}
+
+// Symlink stores the target string at the shard owning linkPath.
+func (c *client) Symlink(target, linkPath string) error {
+	f := c.fsys
+	cfg := c.cfg()
+	c.node.Syscall(c.p)
+	if err := c.resolveParents(linkPath); err != nil {
+		return err
+	}
+	imutex := c.node.DirLock(fs.ParentDir(linkPath))
+	imutex.Lock(c.p)
+	defer imutex.Unlock()
+	sh := f.ownerOf(linkPath)
+	var err error
+	f.conn(c.node, sh).Call(c.p, 150, 140, func(sp *sim.Proc) {
+		f.service(sp, sh, cfg.CreateService, -1)
+		_, err = sh.ns.Symlink(target, linkPath, sp.Now())
+		if err == nil {
+			sh.wafl.LogMetadata(sp, cfg.MetaLogBytes)
+		}
+	})
+	if err == nil {
+		c.cacheEntry(linkPath)
+	}
+	return err
+}
+
+// Stat serves from the attribute cache when fresh, else issues GETATTR
+// to the owning shard.
+func (c *client) Stat(p string) (fs.Attr, error) {
+	f := c.fsys
+	cfg := c.cfg()
+	c.node.Syscall(c.p)
+	st := c.st()
+	if a, ok := st.attrs.Get(p); ok {
+		return a, nil
+	}
+	if err := c.resolveParents(p); err != nil {
+		return fs.Attr{}, err
+	}
+	sh := f.ownerOf(p)
+	var a fs.Attr
+	var err error
+	f.conn(c.node, sh).Call(c.p, 120, 140, func(sp *sim.Proc) {
+		f.service(sp, sh, cfg.GetattrService, -1)
+		a, err = sh.ns.Stat(p)
+	})
+	if err != nil {
+		return fs.Attr{}, err
+	}
+	st.attrs.Put(p, a)
+	st.dentries.PutPositive(p, a.Ino)
+	return a, nil
+}
+
+// Open resolves the path (dentry cache, else LOOKUP at the owner) and
+// returns a handle bound to the owning shard.
+func (c *client) Open(p string) (fs.Handle, error) {
+	f := c.fsys
+	cfg := c.cfg()
+	c.node.Syscall(c.p)
+	if err := c.resolveParents(p); err != nil {
+		return 0, err
+	}
+	sh := f.ownerOf(p)
+	st := c.st()
+	ino, neg, ok := st.dentries.Lookup(p)
+	if !ok {
+		var err error
+		f.conn(c.node, sh).Call(c.p, 120, 140, func(sp *sim.Proc) {
+			f.service(sp, sh, cfg.LookupService, -1)
+			var a fs.Attr
+			a, err = sh.ns.Stat(p)
+			if err == nil {
+				ino = a.Ino
+				st.attrs.Put(p, a)
+				st.dentries.PutPositive(p, a.Ino)
+			} else {
+				st.dentries.PutNegative(p)
+			}
+		})
+		if err != nil {
+			return 0, err
+		}
+	} else if neg {
+		return 0, fs.NewError("open", p, fs.ENOENT)
+	}
+	node := sh.ns.Get(ino)
+	if node == nil {
+		st.dentries.Invalidate(p)
+		return 0, fs.NewError("open", p, fs.ESTALE)
+	}
+	c.nextFH++
+	h := c.nextFH
+	c.handles[h] = &openFile{path: p, sh: sh, ino: ino, size: node.Size}
+	return h, nil
+}
+
+// Close flushes dirty data (close-to-open consistency).
+func (c *client) Close(h fs.Handle) error {
+	c.node.Syscall(c.p)
+	of, ok := c.handles[h]
+	if !ok {
+		return fs.NewError("close", "", fs.EBADF)
+	}
+	delete(c.handles, h)
+	if of.dirty {
+		c.flush(of)
+	}
+	return nil
+}
+
+// Write buffers n bytes client-side until Close or Fsync.
+func (c *client) Write(h fs.Handle, n int64) error {
+	c.node.Syscall(c.p)
+	of, ok := c.handles[h]
+	if !ok {
+		return fs.NewError("write", "", fs.EBADF)
+	}
+	of.written += n
+	of.dirty = true
+	return nil
+}
+
+// Fsync forces dirty data to the owning shard.
+func (c *client) Fsync(h fs.Handle) error {
+	c.node.Syscall(c.p)
+	of, ok := c.handles[h]
+	if !ok {
+		return fs.NewError("fsync", "", fs.EBADF)
+	}
+	if of.dirty {
+		c.flush(of)
+	}
+	return nil
+}
+
+func (c *client) flush(of *openFile) {
+	f := c.fsys
+	cfg := c.cfg()
+	newSize := of.size + of.written
+	f.conn(c.node, of.sh).Call(c.p, 120+of.written, 140, func(sp *sim.Proc) {
+		t := time.Duration(float64(cfg.WriteServicePerKB) * float64(of.written) / 1024)
+		f.service(sp, of.sh, t, -1)
+		of.sh.ns.SetSize(of.ino, newSize, sp.Now())
+		of.sh.wafl.LogMetadata(sp, cfg.MetaLogBytes+of.written)
+	})
+	of.size = newSize
+	of.written = 0
+	of.dirty = false
+	if a, err := of.sh.ns.Stat(of.path); err == nil {
+		c.st().attrs.Put(of.path, a)
+	}
+}
+
+// readdirCost returns the service time of listing n entries: one
+// ReaddirService per 512-entry page plus the per-entry cost, the same
+// paging model as the NFS READDIR path.
+func readdirCost(cfg Config, n int) time.Duration {
+	pages := (n + 511) / 512
+	if pages < 1 {
+		pages = 1
+	}
+	return time.Duration(pages)*cfg.ReaddirService +
+		time.Duration(n)*cfg.ReaddirPerEntry
+}
+
+// ReadDir lists a directory from the shard holding its files. Under
+// subtree placement the root spans every shard, so a root listing
+// visits the peers over the interconnect and merges their top-level
+// entries — the namespace-aggregation view of §4.7 at MDS granularity.
+func (c *client) ReadDir(p string) ([]fs.DirEntry, error) {
+	f := c.fsys
+	cfg := c.cfg()
+	c.node.Syscall(c.p)
+	sh := f.contentOf(p)
+	if sh == nil {
+		home := f.shards[c.node.Index%len(f.shards)]
+		var ents []fs.DirEntry
+		var err error
+		f.conn(c.node, home).Call(c.p, 130, 260, func(sp *sim.Proc) {
+			ents, err = home.ns.ReadDir(p, sp.Now())
+			if err != nil {
+				f.service(sp, home, cfg.ReaddirService, -1)
+				return
+			}
+			f.service(sp, home, readdirCost(cfg, len(ents)), -1)
+			for _, peer := range f.shards {
+				if peer == home {
+					continue
+				}
+				peer := peer
+				f.hop(sp, peer, func(q *sim.Proc) {
+					more, merr := peer.ns.ReadDir(p, q.Now())
+					if merr != nil {
+						return
+					}
+					f.charge(q, peer, readdirCost(cfg, len(more)), -1)
+					ents = append(ents, more...)
+				})
+			}
+		})
+		return ents, err
+	}
+	var ents []fs.DirEntry
+	var err error
+	f.conn(c.node, sh).Call(c.p, 130, 260, func(sp *sim.Proc) {
+		ents, err = sh.ns.ReadDir(p, sp.Now())
+		if err != nil {
+			f.service(sp, sh, cfg.ReaddirService, -1)
+			return
+		}
+		f.service(sp, sh, readdirCost(cfg, len(ents)), -1)
+	})
+	return ents, err
+}
+
+// DropCaches clears the node's attribute and dentry caches.
+func (c *client) DropCaches() {
+	c.node.Syscall(c.p)
+	st := c.st()
+	st.attrs.Clear()
+	st.dentries.Clear()
+}

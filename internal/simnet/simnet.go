@@ -27,6 +27,17 @@ func NewServer(k *sim.Kernel, name string, threads int) *Server {
 	return &Server{Name: name, Threads: sim.NewResource(k, "srv:"+name, threads)}
 }
 
+// Do runs service while holding one of the server's worker threads,
+// without a network path: the execution-context half of Call. Servers
+// that forward work to a peer service (clustered metadata servers) use
+// it to charge the remote thread occupancy after paying the hop latency
+// themselves.
+func (s *Server) Do(p *sim.Proc, service func(p *sim.Proc)) {
+	s.Threads.Acquire(p)
+	service(p)
+	s.Threads.Release()
+}
+
 // Conn is a client's path to a server: one-way latency plus a bandwidth
 // limit shared by all users of the connection.
 type Conn struct {

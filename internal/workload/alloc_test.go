@@ -1,0 +1,32 @@
+package workload
+
+import "testing"
+
+// The Postmark transaction loop builds one or two paths per operation;
+// the builders must stay at exactly one allocation each (the returned
+// string), like the equivalent builders in internal/core.
+
+func TestDirNameAllocBound(t *testing.T) {
+	if avg := testing.AllocsPerRun(200, func() {
+		_ = dirName(137)
+	}); avg > 1 {
+		t.Fatalf("dirName allocated %.1f objects/op, want <= 1", avg)
+	}
+}
+
+func TestFileNameAllocBound(t *testing.T) {
+	if avg := testing.AllocsPerRun(200, func() {
+		_ = fileName(12345, 89)
+	}); avg > 1 {
+		t.Fatalf("fileName allocated %.1f objects/op, want <= 1", avg)
+	}
+}
+
+func TestNameContents(t *testing.T) {
+	if got := dirName(7); got != "/postmark/s7" {
+		t.Errorf("dirName(7) = %q", got)
+	}
+	if got := fileName(123, 10); got != "/postmark/s3/f123" {
+		t.Errorf("fileName(123, 10) = %q", got)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strconv"
 	"time"
 
 	"dmetabench/internal/fs"
@@ -209,10 +210,24 @@ func Postmark(c fs.Client, cfg PostmarkConfig, now func() time.Duration) (Postma
 	return st, nil
 }
 
-func dirName(i int) string { return fmt.Sprintf("/postmark/s%d", i) }
+// dirName returns "/postmark/s<i>" with a single sized allocation; it
+// and fileName sit inside every transaction of the Postmark loop, where
+// the fmt.Sprintf pair they replace showed up in profiles.
+func dirName(i int) string {
+	b := make([]byte, 0, 24)
+	b = append(b, "/postmark/s"...)
+	b = strconv.AppendInt(b, int64(i), 10)
+	return string(b)
+}
 
+// fileName returns "/postmark/s<id%subdirs>/f<id>".
 func fileName(id, subdirs int) string {
-	return fmt.Sprintf("%s/f%d", dirName(id%subdirs), id)
+	b := make([]byte, 0, 32)
+	b = append(b, "/postmark/s"...)
+	b = strconv.AppendInt(b, int64(id%subdirs), 10)
+	b = append(b, "/f"...)
+	b = strconv.AppendInt(b, int64(id), 10)
+	return string(b)
 }
 
 // FileopsResult holds per-operation latencies measured by the fileops

@@ -1,30 +1,71 @@
 #!/bin/sh
 # bench.sh — snapshot the substrate micro-benchmarks into BENCH_<date>.json
 #
-# Usage: scripts/bench.sh [output-dir]   (default: repo root)
+# Usage: scripts/bench.sh [output-dir] [-count N]   (default: repo root, 1)
 #
-# The snapshot records ns/op, B/op and allocs/op for the three simulator
-# substrate benchmarks so future PRs have a perf trajectory to compare
-# against (see DESIGN.md, "Performance-regression workflow").
+# The snapshot records ns/op, B/op and allocs/op for the simulator
+# substrate benchmarks, plus the toolchain and commit that produced it,
+# so future PRs have a perf trajectory to compare against (see DESIGN.md,
+# "Performance-regression workflow"). With -count N every benchmark runs
+# N times; the JSON stores the per-benchmark mean and the raw `go test`
+# output is written alongside as BENCH_<date>.txt for benchstat.
 set -eu
 
 cd "$(dirname "$0")/.."
-outdir="${1:-.}"
+
+outdir="."
+count=1
+while [ $# -gt 0 ]; do
+	case "$1" in
+	-count)
+		count="$2"
+		shift 2
+		;;
+	*)
+		outdir="$1"
+		shift
+		;;
+	esac
+done
+
+mkdir -p "$outdir"
 out="$outdir/BENCH_$(date +%Y-%m-%d).json"
 
 raw=$(go test -run '^$' \
-	-bench 'BenchmarkSimulatedCreate$|BenchmarkNamespaceCreate$|BenchmarkRunnerMeasurement$' \
-	-benchmem -benchtime=1s -count=1 .)
+	-bench 'BenchmarkSimulatedCreate$|BenchmarkShardedCreate$|BenchmarkNamespaceCreate$|BenchmarkRunnerMeasurement$' \
+	-benchmem -benchtime=1s -count="$count" .)
 
-echo "$raw" | awk -v host="$(uname -sm)" '
-BEGIN { print "{"; printf "  \"host\": \"%s\",\n  \"benchmarks\": {\n", host; n = 0 }
+if [ "$count" -gt 1 ]; then
+	printf '%s\n' "$raw" > "$outdir/BENCH_$(date +%Y-%m-%d).txt"
+fi
+
+goversion=$(go version | sed 's/^go version //')
+commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+
+printf '%s\n' "$raw" | awk -v host="$(uname -sm)" -v gover="$goversion" \
+	-v commit="$commit" -v count="$count" '
+BEGIN {
+	print "{"
+	printf "  \"host\": \"%s\",\n", host
+	printf "  \"go\": \"%s\",\n", gover
+	printf "  \"commit\": \"%s\",\n", commit
+	printf "  \"count\": %d,\n  \"benchmarks\": {\n", count
+	n = 0
+}
 /^Benchmark/ {
 	name = $1; sub(/-[0-9]+$/, "", name)
-	if (n++) printf ",\n"
-	printf "    \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
-		name, $3, $5, $7
+	ns[name] += $3; bytes[name] += $5; allocs[name] += $7; runs[name]++
+	if (!(name in seen)) { order[n++] = name; seen[name] = 1 }
 }
-END { printf "\n  }\n}\n" }
+END {
+	for (i = 0; i < n; i++) {
+		name = order[i]
+		if (i) printf ",\n"
+		printf "    \"%s\": {\"ns_per_op\": %.0f, \"bytes_per_op\": %.0f, \"allocs_per_op\": %.1f}", \
+			name, ns[name] / runs[name], bytes[name] / runs[name], allocs[name] / runs[name]
+	}
+	printf "\n  }\n}\n"
+}
 ' > "$out"
 
 echo "wrote $out"

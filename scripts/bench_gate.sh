@@ -1,0 +1,60 @@
+#!/bin/sh
+# bench_gate.sh — benchmark regression gate for CI.
+#
+# Runs the substrate benchmarks into a fresh snapshot (bench-out/ by
+# default), compares BenchmarkSimulatedCreate ns/op against the newest
+# committed BENCH_*.json in the repo root, and
+#
+#   - fails (exit 1) on a regression worse than 2x,
+#   - warns on any regression above 15%,
+#   - passes otherwise.
+#
+# Usage: scripts/bench_gate.sh [output-dir]
+set -eu
+
+cd "$(dirname "$0")/.."
+outdir="${1:-bench-out}"
+mkdir -p "$outdir"
+
+baseline=$(ls BENCH_*.json 2>/dev/null | sort | tail -1)
+if [ -z "$baseline" ]; then
+	echo "bench_gate: no committed BENCH_*.json baseline found" >&2
+	exit 1
+fi
+
+# Three samples per benchmark: one 1s sample on a shared CI runner is
+# too noisy for a hard gate; the snapshot records the mean.
+scripts/bench.sh "$outdir" -count 3
+fresh=$(ls "$outdir"/BENCH_*.json | sort | tail -1)
+
+extract() {
+	# Pull ns_per_op of BenchmarkSimulatedCreate out of a snapshot; both
+	# the old (three-field) and new (with go/commit) formats keep one
+	# benchmark per line.
+	awk '/"BenchmarkSimulatedCreate"/ {
+		if (match($0, /"ns_per_op": *[0-9.]+/)) {
+			v = substr($0, RSTART, RLENGTH); sub(/.*: */, "", v); print v; exit
+		}
+	}' "$1"
+}
+
+base_ns=$(extract "$baseline")
+new_ns=$(extract "$fresh")
+if [ -z "$base_ns" ] || [ -z "$new_ns" ]; then
+	echo "bench_gate: BenchmarkSimulatedCreate missing from $baseline or $fresh" >&2
+	exit 1
+fi
+
+echo "bench_gate: BenchmarkSimulatedCreate $base_ns ns/op ($baseline) -> $new_ns ns/op"
+awk -v base="$base_ns" -v new="$new_ns" 'BEGIN {
+	ratio = new / base
+	printf "bench_gate: ratio %.2fx\n", ratio
+	if (ratio > 2.0) {
+		printf "bench_gate: FAIL — BenchmarkSimulatedCreate regressed more than 2x\n"
+		exit 1
+	}
+	if (ratio > 1.15) {
+		printf "bench_gate: WARNING — BenchmarkSimulatedCreate regressed %.0f%%\n", (ratio - 1) * 100
+	}
+	exit 0
+}'
