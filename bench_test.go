@@ -154,6 +154,20 @@ func BenchmarkE18CrossShard(b *testing.B) {
 		"cross-shard rename penalty", "merge penalty")
 }
 
+func BenchmarkE19Failover(b *testing.B) {
+	runExperiment(b, experiments.E19FailoverTimeline,
+		"single: outage window", "repl: outage window", "repl: takeover latency")
+}
+
+func BenchmarkE20ReplicationOverhead(b *testing.B) {
+	runExperiment(b, experiments.E20ReplicationOverhead,
+		"replication cost @ 2 shards", "replication cost @ 8 shards")
+}
+
+func BenchmarkE21RecoveryScaling(b *testing.B) {
+	runExperiment(b, experiments.E21RecoveryScaling, "detection floor")
+}
+
 func BenchmarkA01AveragingMethods(b *testing.B) {
 	runExperiment(b, experiments.A01AveragingMethods,
 		"wall-clock average", "stonewall average")

@@ -50,8 +50,13 @@ func (c *AttrCache) Put(path string, a fs.Attr) {
 // Invalidate removes one path.
 func (c *AttrCache) Invalidate(path string) { delete(c.entries, path) }
 
-// Clear drops every entry (drop_caches).
-func (c *AttrCache) Clear() { c.entries = make(map[string]attrEntry) }
+// Clear drops every entry and resets the hit/miss statistics
+// (drop_caches before a fresh measurement, §3.4.3: a cleared cache's
+// counters must describe only the run that follows).
+func (c *AttrCache) Clear() {
+	c.entries = make(map[string]attrEntry)
+	c.hits, c.misses = 0, 0
+}
 
 // Stats returns cumulative hits and misses.
 func (c *AttrCache) Stats() (hits, misses int64) { return c.hits, c.misses }

@@ -71,6 +71,86 @@ func TestDentryCachePositiveNegative(t *testing.T) {
 	}
 }
 
+func TestAttrCacheTTLExactBoundary(t *testing.T) {
+	// The freshness test is now-fetched > TTL: an entry aged exactly TTL
+	// is still served (acregmax is inclusive), one tick past it is not.
+	clk := &fakeClock{}
+	c := NewAttrCache(3*time.Second, clk.now)
+	c.Put("/f", fs.Attr{Ino: 9})
+	clk.t = 3 * time.Second
+	if _, ok := c.Get("/f"); !ok {
+		t.Fatal("entry aged exactly TTL rejected")
+	}
+	clk.t = 3*time.Second + 1
+	if _, ok := c.Get("/f"); ok {
+		t.Fatal("entry one tick past TTL served")
+	}
+}
+
+func TestDentryCacheTTLExactBoundary(t *testing.T) {
+	clk := &fakeClock{}
+	d := NewDentryCache(30*time.Second, clk.now)
+	d.PutPositive("/f", 5)
+	clk.t = 30 * time.Second
+	if _, _, ok := d.Lookup("/f"); !ok {
+		t.Fatal("dentry aged exactly TTL rejected")
+	}
+	clk.t = 30*time.Second + 1
+	if _, _, ok := d.Lookup("/f"); ok {
+		t.Fatal("dentry one tick past TTL served")
+	}
+}
+
+func TestDentryNegativeFlipsToPositive(t *testing.T) {
+	// A create after a failed lookup overwrites the negative entry in
+	// place; the positive entry carries the new inode and a fresh TTL.
+	clk := &fakeClock{}
+	d := NewDentryCache(10*time.Second, clk.now)
+	d.PutNegative("/f")
+	if _, neg, ok := d.Lookup("/f"); !ok || !neg {
+		t.Fatal("negative entry not cached")
+	}
+	clk.t = 6 * time.Second
+	d.PutPositive("/f", 77)
+	ino, neg, ok := d.Lookup("/f")
+	if !ok || neg || ino != 77 {
+		t.Fatalf("after flip: ino=%d neg=%v ok=%v, want 77/false/true", ino, neg, ok)
+	}
+	// The flip refreshed the TTL: alive at t=15s (9s after the flip),
+	// gone one tick past t=16s.
+	clk.t = 15 * time.Second
+	if _, neg, ok := d.Lookup("/f"); !ok || neg {
+		t.Fatal("flipped entry expired on the stale negative's clock")
+	}
+	clk.t = 16*time.Second + 1
+	if _, _, ok := d.Lookup("/f"); ok {
+		t.Fatal("flipped entry survived past its refreshed TTL")
+	}
+}
+
+func TestAttrCacheClearResetsStats(t *testing.T) {
+	clk := &fakeClock{}
+	c := NewAttrCache(time.Minute, clk.now)
+	c.Put("/a", fs.Attr{})
+	c.Get("/a") // hit
+	c.Get("/b") // miss
+	if h, m := c.Stats(); h != 1 || m != 1 {
+		t.Fatalf("pre-clear stats = %d/%d, want 1/1", h, m)
+	}
+	c.Clear()
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Fatalf("stats survived Clear: %d/%d, want 0/0", h, m)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("entries survived Clear: %d", c.Len())
+	}
+	// Counters accumulate cleanly after the reset.
+	c.Get("/a")
+	if h, m := c.Stats(); h != 0 || m != 1 {
+		t.Fatalf("post-clear stats = %d/%d, want 0/1", h, m)
+	}
+}
+
 // Property: a Put followed by Get within TTL always returns the stored
 // attributes, for arbitrary paths and inode numbers.
 func TestAttrCacheRoundTrip(t *testing.T) {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dmetabench/internal/cluster"
+	"dmetabench/internal/fault"
 	"dmetabench/internal/lustre"
 	"dmetabench/internal/nfs"
 	"dmetabench/internal/shard"
@@ -37,6 +38,27 @@ func runAndSave(t *testing.T, seed int64, mode string) map[string]string {
 			Plugins: []Plugin{
 				ZipfDirFiles{Projects: 6, SubdirsPerProject: 4, Skew: 1.4, MkdirEvery: 25},
 				MakeFiles{}, RenameFiles{},
+			},
+		}
+	case "shard-failover":
+		// Replicated shards with a mid-run crash and restart: takeover,
+		// journal replay, client retry backoff and failback must all
+		// happen at identical virtual times across identically-seeded
+		// runs.
+		cfg := shard.DefaultConfig(4)
+		cfg.Replicate = true
+		cfg.TakeoverDetect = 100 * time.Millisecond
+		fsys := shard.New(k, "meta", cfg)
+		plan := (&fault.Plan{}).Outage(200*time.Millisecond, 700*time.Millisecond, 1)
+		r = &Runner{
+			Cluster: cl,
+			FS:      fsys,
+			Params: Params{ProblemSize: 250, WorkDir: "/bench",
+				TimeLimit: 1500 * time.Millisecond, Interval: 100 * time.Millisecond},
+			SlotsPerNode: 2,
+			Plugins:      []Plugin{MakeFiles{}},
+			BenchStartHook: func(mp *sim.Proc, _ MeasurementInfo) {
+				plan.Start(mp, fsys)
 			},
 		}
 	case "lustre-writeback":
@@ -88,12 +110,15 @@ func runAndSave(t *testing.T, seed int64, mode string) map[string]string {
 // serialized result sets — identical traces, identical interval
 // sampling, identical environment. It covers the synchronous NFS model,
 // the Lustre write-back model (daemon flushers, queues, semaphore
-// windows exercise every scheduling primitive) and the sharded MDS
+// windows exercise every scheduling primitive), the sharded MDS
 // model under both placement policies (broadcast replication, peer
-// pools, Zipf routing and cross-shard migrates).
+// pools, Zipf routing and cross-shard migrates), and the replicated
+// sharded model under fault injection (crash, timer-driven takeover,
+// retry backoff, restart recovery and failback).
 func TestRunnerDeterministic(t *testing.T) {
 	for _, mode := range []string{
 		"nfs-timed", "lustre-writeback", "shard-hash", "shard-subtree",
+		"shard-failover",
 	} {
 		t.Run(mode, func(t *testing.T) {
 			a := runAndSave(t, 77, mode)

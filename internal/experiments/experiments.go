@@ -34,6 +34,12 @@ type Report struct {
 	Findings []string
 	// Sets holds the raw result sets for further processing.
 	Sets []*results.Set
+	// Volatile marks a report whose values are real-time measurements
+	// of the host machine (E02) rather than deterministic virtual-time
+	// results. The committed EXPERIMENTS.md replaces volatile values
+	// with a placeholder so regeneration is byte-stable across machines
+	// (the CI docs job diffs it).
+	Volatile bool
 }
 
 func (r *Report) row(name string, value float64, unit, note string) {
@@ -95,6 +101,9 @@ func All() []Experiment {
 		{"E16", E16ShardScaling},
 		{"E17", E17ShardSkew},
 		{"E18", E18CrossShard},
+		{"E19", E19FailoverTimeline},
+		{"E20", E20ReplicationOverhead},
+		{"E21", E21RecoveryScaling},
 	}
 }
 

@@ -106,6 +106,37 @@ func TestE15Shape(t *testing.T) {
 	}
 }
 
+func TestE21Shape(t *testing.T) {
+	rep := E21RecoveryScaling()
+	if len(rep.Findings) == 0 {
+		t.Fatal("no findings")
+	}
+	var floor float64
+	var takeovers []float64
+	for _, r := range rep.Rows {
+		if r.Name == "detection floor" {
+			floor = r.Value
+		}
+		if strings.HasPrefix(r.Name, "takeover @") {
+			takeovers = append(takeovers, r.Value)
+		}
+	}
+	if floor <= 0 {
+		t.Fatalf("detection floor = %f, want > 0", floor)
+	}
+	if len(takeovers) < 2 {
+		t.Fatalf("takeover sweep rows = %d, want >= 2", len(takeovers))
+	}
+	for i := 1; i < len(takeovers); i++ {
+		if takeovers[i] <= takeovers[i-1] {
+			t.Fatalf("takeover latency not increasing with journal length: %v", takeovers)
+		}
+	}
+	if takeovers[0] < floor {
+		t.Fatalf("smallest takeover %f below the detection floor %f", takeovers[0], floor)
+	}
+}
+
 func TestReportString(t *testing.T) {
 	rep := &Report{ID: "EX", Title: "test", PaperRef: "§0"}
 	rep.row("metric", 1234.5, "ops/s", "note")

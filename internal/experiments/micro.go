@@ -128,7 +128,7 @@ func E01SyscallCounts() *Report {
 // create loop, measured in real time on a zero-cost file system.
 func E02HarnessOverhead() *Report {
 	r := &Report{ID: "E02", Title: "Harness overhead vs. raw loop",
-		PaperRef: "Table 4.2 (Python vs. C, 200k creates)"}
+		PaperRef: "Table 4.2 (Python vs. C, 200k creates)", Volatile: true}
 	const n = 200000
 
 	// Raw loop: direct namespace creates. Path construction matches the

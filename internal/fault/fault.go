@@ -1,0 +1,150 @@
+// Package fault implements deterministic failure injection for the
+// simulator: a Plan schedules crash and restart events on simulated
+// servers at fixed virtual-time offsets, and Start replays the plan
+// against any Target from a daemon timer process.
+//
+// The thesis measures metadata performance only while every server stays
+// healthy, but its COV-based time-interval methodology (§3.2.5, §4.2) is
+// exactly the instrument that exposes what a failure does to throughput
+// over time — a dip, a stall, a recovery ramp. Related work makes the
+// pairing explicit: StoreTorrent analyzes fault tolerance and metadata
+// performance together, and HopsFS derives its availability from
+// replicated metadata with failover. Experiments E19–E21 drive this
+// package against the replicated sharded MDS model (internal/shard).
+//
+// Plans are deterministic by construction: events fire at virtual times
+// relative to Start, ties resolve in insertion order, and the injector is
+// an ordinary sim daemon — the same seed yields the same failure history,
+// byte for byte (covered by TestRunnerDeterministic's shard-failover
+// case).
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"dmetabench/internal/sim"
+)
+
+// Kind is the type of one injected event.
+type Kind int
+
+// Event kinds.
+const (
+	// Crash marks a server failed: its requests time out until restart
+	// (or until a backup takes over, when the target replicates).
+	Crash Kind = iota
+	// Restart brings a crashed server back through recovery.
+	Restart
+)
+
+func (k Kind) String() string {
+	if k == Restart {
+		return "restart"
+	}
+	return "crash"
+}
+
+// Event is one scheduled failure-injection action.
+type Event struct {
+	// At is the virtual-time offset from Plan.Start at which the event
+	// fires.
+	At time.Duration
+	// Kind selects crash or restart.
+	Kind Kind
+	// Server is the target server index (a shard index for the sharded
+	// MDS model).
+	Server int
+}
+
+// Target is what a plan drives: any subsystem whose servers can crash at
+// and return to service. internal/shard's FS implements it.
+type Target interface {
+	// Crash takes server i down at the current virtual time.
+	Crash(p *sim.Proc, i int)
+	// Restart begins server i's recovery at the current virtual time.
+	Restart(p *sim.Proc, i int)
+}
+
+// Plan is an ordered schedule of failure events. The zero value is an
+// empty plan; add events with CrashAt/RestartAt or fill Events directly.
+type Plan struct {
+	Events []Event
+}
+
+// CrashAt appends a crash of server i at offset at.
+func (pl *Plan) CrashAt(at time.Duration, i int) *Plan {
+	pl.Events = append(pl.Events, Event{At: at, Kind: Crash, Server: i})
+	return pl
+}
+
+// RestartAt appends a restart of server i at offset at.
+func (pl *Plan) RestartAt(at time.Duration, i int) *Plan {
+	pl.Events = append(pl.Events, Event{At: at, Kind: Restart, Server: i})
+	return pl
+}
+
+// Outage appends a crash at from and the matching restart at to.
+func (pl *Plan) Outage(from, to time.Duration, i int) *Plan {
+	return pl.CrashAt(from, i).RestartAt(to, i)
+}
+
+// Validate reports a plan whose events cannot replay sensibly: a
+// negative offset, or a restart of a server that the plan never crashed
+// before that offset.
+func (pl *Plan) Validate() error {
+	up := map[int]bool{}
+	for _, ev := range pl.sorted() {
+		if ev.At < 0 {
+			return fmt.Errorf("fault: negative event offset %v", ev.At)
+		}
+		switch ev.Kind {
+		case Crash:
+			if up[ev.Server] {
+				return fmt.Errorf("fault: server %d crashed twice without a restart", ev.Server)
+			}
+			up[ev.Server] = true
+		case Restart:
+			if !up[ev.Server] {
+				return fmt.Errorf("fault: restart of server %d before any crash", ev.Server)
+			}
+			up[ev.Server] = false
+		default:
+			return fmt.Errorf("fault: unknown event kind %d", ev.Kind)
+		}
+	}
+	return nil
+}
+
+// sorted returns the events ordered by (At, insertion order) without
+// mutating the plan.
+func (pl *Plan) sorted() []Event {
+	evs := make([]Event, len(pl.Events))
+	copy(evs, pl.Events)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	return evs
+}
+
+// Start spawns a daemon injector that replays the plan against t with
+// event offsets measured from the current virtual time, and returns the
+// injector process. Experiments install it from the runner's bench-start
+// hook so offsets align with the measurement window, the same idiom as
+// the CPU-hog and snapshot disturbances of §4.2.3.
+func (pl *Plan) Start(p *sim.Proc, t Target) *sim.Proc {
+	evs := pl.sorted()
+	return p.Kernel().AfterFunc("fault-injector", 0, func(q *sim.Proc) {
+		start := q.Now()
+		for _, ev := range evs {
+			if d := start + ev.At - q.Now(); d > 0 {
+				q.Sleep(d)
+			}
+			switch ev.Kind {
+			case Crash:
+				t.Crash(q, ev.Server)
+			case Restart:
+				t.Restart(q, ev.Server)
+			}
+		}
+	})
+}

@@ -1,0 +1,116 @@
+package fault
+
+import (
+	"testing"
+	"time"
+
+	"dmetabench/internal/sim"
+)
+
+// record is one observed injection: kind, server and virtual time.
+type record struct {
+	kind   Kind
+	server int
+	at     time.Duration
+}
+
+// fakeTarget records every injected event with its virtual time.
+type fakeTarget struct {
+	evs []record
+}
+
+func (f *fakeTarget) Crash(p *sim.Proc, i int)   { f.evs = append(f.evs, record{Crash, i, p.Now()}) }
+func (f *fakeTarget) Restart(p *sim.Proc, i int) { f.evs = append(f.evs, record{Restart, i, p.Now()}) }
+
+// drive replays pl from a non-daemon anchor process that outlives every
+// event (daemon injectors only run while non-daemons are live).
+func drive(t *testing.T, pl *Plan, tgt Target, horizon time.Duration) {
+	t.Helper()
+	k := sim.New(1)
+	k.Spawn("anchor", func(p *sim.Proc) {
+		pl.Start(p, tgt)
+		p.Sleep(horizon)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanReplaysInOrder(t *testing.T) {
+	tgt := &fakeTarget{}
+	// Deliberately unsorted input: the injector must order by offset.
+	pl := &Plan{}
+	pl.RestartAt(300*time.Millisecond, 0)
+	pl.CrashAt(100*time.Millisecond, 0)
+	pl.Outage(150*time.Millisecond, 250*time.Millisecond, 1)
+	drive(t, pl, tgt, time.Second)
+
+	want := []record{
+		{Crash, 0, 100 * time.Millisecond},
+		{Crash, 1, 150 * time.Millisecond},
+		{Restart, 1, 250 * time.Millisecond},
+		{Restart, 0, 300 * time.Millisecond},
+	}
+	if len(tgt.evs) != len(want) {
+		t.Fatalf("replayed %d events, want %d", len(tgt.evs), len(want))
+	}
+	for i, ev := range tgt.evs {
+		if ev != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, ev, want[i])
+		}
+	}
+}
+
+func TestPlanOffsetsRelativeToStart(t *testing.T) {
+	tgt := &fakeTarget{}
+	pl := (&Plan{}).CrashAt(50*time.Millisecond, 2)
+	k := sim.New(1)
+	k.Spawn("anchor", func(p *sim.Proc) {
+		p.Sleep(200 * time.Millisecond) // plan starts mid-simulation
+		pl.Start(p, tgt)
+		p.Sleep(time.Second)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tgt.evs) != 1 || tgt.evs[0].at != 250*time.Millisecond {
+		t.Fatalf("events = %+v, want one crash at 250ms", tgt.evs)
+	}
+}
+
+func TestPlanTieBreaksByInsertionOrder(t *testing.T) {
+	tgt := &fakeTarget{}
+	pl := &Plan{}
+	pl.CrashAt(100*time.Millisecond, 3)
+	pl.CrashAt(100*time.Millisecond, 1)
+	drive(t, pl, tgt, time.Second)
+	if len(tgt.evs) != 2 || tgt.evs[0].server != 3 || tgt.evs[1].server != 1 {
+		t.Fatalf("equal-time events replayed as %+v, want insertion order 3 then 1", tgt.evs)
+	}
+}
+
+func TestPlanEventBeyondWorkloadNeverFires(t *testing.T) {
+	tgt := &fakeTarget{}
+	pl := (&Plan{}).CrashAt(10*time.Second, 0)
+	drive(t, pl, tgt, time.Second) // anchor exits at 1s
+	if len(tgt.evs) != 0 {
+		t.Fatalf("event beyond the workload fired: %+v", tgt.evs)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ok := (&Plan{}).Outage(time.Second, 2*time.Second, 0)
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	if err := ((&Plan{}).RestartAt(time.Second, 0)).Validate(); err == nil {
+		t.Fatal("restart-before-crash accepted")
+	}
+	doubleCrash := (&Plan{}).CrashAt(time.Second, 0).CrashAt(2*time.Second, 0)
+	if err := doubleCrash.Validate(); err == nil {
+		t.Fatal("double crash accepted")
+	}
+	if err := ((&Plan{}).CrashAt(-time.Second, 0)).Validate(); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+}

@@ -31,13 +31,16 @@ const (
 	EBADF
 	EMLINK
 	EACCES
+	// ETIMEDOUT reports an RPC that received no reply (server crashed or
+	// unreachable); clients of fault-tolerant models retry on it.
+	ETIMEDOUT
 )
 
 var errnoNames = map[Errno]string{
 	OK: "OK", EEXIST: "EEXIST", ENOENT: "ENOENT", ENOTDIR: "ENOTDIR",
 	EISDIR: "EISDIR", ENOTEMPTY: "ENOTEMPTY", EXDEV: "EXDEV",
 	EINVAL: "EINVAL", ENOSPC: "ENOSPC", ESTALE: "ESTALE", EBADF: "EBADF",
-	EMLINK: "EMLINK", EACCES: "EACCES",
+	EMLINK: "EMLINK", EACCES: "EACCES", ETIMEDOUT: "ETIMEDOUT",
 }
 
 func (e Errno) String() string {
@@ -80,6 +83,9 @@ func IsNotExist(err error) bool { return CodeOf(err) == ENOENT }
 
 // IsExist reports whether err is an EEXIST error.
 func IsExist(err error) bool { return CodeOf(err) == EEXIST }
+
+// IsTimeout reports whether err is an RPC timeout (ETIMEDOUT).
+func IsTimeout(err error) bool { return CodeOf(err) == ETIMEDOUT }
 
 // ParentDir returns the parent directory of an already-clean path:
 // everything before the final slash, "/" for top-level entries and "."

@@ -22,6 +22,16 @@
 // visit peer shards one interconnect round trip at a time. Peer work is
 // served by a dedicated per-shard peer thread pool so forwarded requests
 // cannot form circular waits with the client-facing pools.
+//
+// The model is fault-tolerant in the HopsFS/StoreTorrent direction
+// (experiments E19–E21, driven by internal/fault): with
+// Config.Replicate, every shard's mutations are journaled and
+// synchronously mirrored to a backup peer — shard (i+1) mod N — and when
+// a primary crashes, the backup replays the journal after a detection
+// delay and takes over serving the slice. Clients observe a crash as RPC
+// timeouts and retry with deterministic exponential backoff, so an
+// outage appears in the §3.2.5 time-interval methodology as exactly what
+// it is: a throughput dip, a COV spike, and a recovery ramp.
 package shard
 
 import (
@@ -68,7 +78,7 @@ type Config struct {
 	// ShardThreads is each shard's client-facing worker pool size.
 	ShardThreads int
 	// PeerThreads is each shard's pool for inter-MDS requests
-	// (broadcast replication, migrate inserts, peer readdir).
+	// (broadcast replication, migrate inserts, peer readdir, mirrors).
 	PeerThreads int
 	// OneWayLatency is the client<->shard network delay.
 	OneWayLatency time.Duration
@@ -98,10 +108,44 @@ type Config struct {
 	// PlaceSubtree — the administrative volume placement of §4.7.2.
 	// Subtrees not listed fall back to hashing their name.
 	SubtreeAssign map[string]int
+
+	// Replicate enables primary/backup replication: every mutation on a
+	// shard is journaled and synchronously mirrored to the shard's
+	// backup — shard (i+1) mod N — which takes over serving the slice
+	// when the primary crashes (HopsFS-style metadata availability).
+	// Requires NumShards >= 2 to have a distinct backup.
+	Replicate bool
+	// JournalCap bounds the in-memory mutation journal per shard: the
+	// dirty entries accumulated since the last checkpoint. Reaching the
+	// cap models a checkpoint, which truncates the journal — so
+	// JournalCap also caps the replay work a takeover or restart pays.
+	JournalCap int
+	// MirrorService is the backup-side CPU charged per mirrored
+	// mutation (applying the journal record to the standby copy).
+	MirrorService time.Duration
+	// TakeoverDetect is the failure-detection delay (lease/heartbeat
+	// expiry) before a backup begins taking over a crashed primary.
+	TakeoverDetect time.Duration
+	// ReplayPerEntry is the recovery cost per journal entry, paid by a
+	// backup promoting itself and by a restarted primary.
+	ReplayPerEntry time.Duration
+	// RetryTimeout is the client-observed RPC timeout against a dead
+	// server (one failed attempt costs this much virtual time).
+	RetryTimeout time.Duration
+	// RetryBackoff is the base of the client's deterministic
+	// exponential retry backoff; RetryBackoffMax caps it.
+	RetryBackoff    time.Duration
+	RetryBackoffMax time.Duration
+	// RetryMax is the attempt limit per operation before the client
+	// gives up with ETIMEDOUT. It bounds the simulation when a slice
+	// stays dark (crashed primary, no backup, no restart scheduled).
+	RetryMax int
 }
 
 // DefaultConfig returns an n-shard configuration with per-shard service
-// times matching the single-server NFS defaults.
+// times matching the single-server NFS defaults. Replication is off;
+// the failover tunables carry defaults so experiments can just flip
+// Replicate on.
 func DefaultConfig(n int) Config {
 	return Config{
 		NumShards:          n,
@@ -125,7 +169,22 @@ func DefaultConfig(n int) Config {
 		DirIndex:           namespace.IndexHash,
 		WAFL:               storage.DefaultWAFLConfig(),
 		MetaLogBytes:       320,
+
+		JournalCap:      16384,
+		MirrorService:   60 * time.Microsecond,
+		TakeoverDetect:  200 * time.Millisecond,
+		ReplayPerEntry:  20 * time.Microsecond,
+		RetryTimeout:    500 * time.Millisecond,
+		RetryBackoff:    50 * time.Millisecond,
+		RetryBackoffMax: time.Second,
+		RetryMax:        64,
 	}
+}
+
+// journalRec is one entry of a shard's bounded mutation journal.
+type journalRec struct {
+	kind fs.OpKind
+	path string
 }
 
 // shardSrv is one metadata server: its authoritative namespace slice,
@@ -138,7 +197,39 @@ type shardSrv struct {
 	ns    *namespace.Namespace
 	locks map[fs.Ino]*sim.Mutex
 	ops   int64
+
+	// up mirrors the simnet server state; false between Crash and the
+	// end of Restart recovery.
+	up bool
+	// journal holds the slice's dirty mutations since the last
+	// checkpoint; its length prices takeover and restart replay.
+	journal     []journalRec
+	checkpoints int64
 }
+
+// journalAppend records one mutation, truncating at the checkpoint cap.
+func (sh *shardSrv) journalAppend(cap int, kind fs.OpKind, path string) {
+	if cap > 0 && len(sh.journal) >= cap {
+		sh.journal = sh.journal[:0]
+		sh.checkpoints++
+	}
+	sh.journal = append(sh.journal, journalRec{kind: kind, path: path})
+}
+
+// Takeover records one backup promotion after a primary crash.
+type Takeover struct {
+	// Shard is the crashed primary, Backup the promoted server.
+	Shard, Backup int
+	// CrashAt is the virtual time of the crash.
+	CrashAt time.Duration
+	// Detect is the failure-detection delay and Replay the journal
+	// replay time; Entries is the journal length replayed.
+	Detect, Replay time.Duration
+	Entries        int
+}
+
+// Total is the takeover latency: detection plus journal replay.
+func (t Takeover) Total() time.Duration { return t.Detect + t.Replay }
 
 // FS is one sharded metadata file system.
 type FS struct {
@@ -146,8 +237,12 @@ type FS struct {
 	cfg Config
 
 	shards []*shardSrv
-	conns  map[connKey]*simnet.Conn
-	nodes  map[*cluster.Node]*nodeState
+	// serving maps each namespace slice to the index of the server
+	// currently serving it: the slice's home shard, or its backup after
+	// a failover.
+	serving []int
+	conns   map[connKey]*simnet.Conn
+	nodes   map[*cluster.Node]*nodeState
 
 	rpcs int64
 	// CrossCount counts operations that crossed the MDS interconnect
@@ -156,6 +251,13 @@ type FS struct {
 	// BroadcastCount counts directory mutations that were replicated to
 	// the other shards (hash placement only).
 	BroadcastCount int64
+	// MirrorCount counts mutations synchronously mirrored to a backup.
+	MirrorCount int64
+	// RetryCount counts client RPC attempts that failed against a down
+	// server and were retried after backoff.
+	RetryCount int64
+	// Takeovers records every backup promotion, in order.
+	Takeovers []Takeover
 }
 
 type connKey struct {
@@ -173,6 +275,9 @@ func New(k *sim.Kernel, name string, cfg Config) *FS {
 	if cfg.NumShards < 1 {
 		cfg.NumShards = 1
 	}
+	if cfg.RetryMax < 1 {
+		cfg.RetryMax = 64
+	}
 	f := &FS{
 		k:     k,
 		cfg:   cfg,
@@ -188,14 +293,20 @@ func New(k *sim.Kernel, name string, cfg Config) *FS {
 			wafl:  storage.NewWAFL(k, "mds:"+id, cfg.WAFL),
 			ns:    namespace.New(),
 			locks: make(map[fs.Ino]*sim.Mutex),
+			up:    true,
 		})
+		f.serving = append(f.serving, i)
 	}
 	return f
 }
 
 // Name identifies the model in results and charts.
 func (f *FS) Name() string {
-	return "shard" + strconv.Itoa(len(f.shards)) + "-" + f.cfg.Placement.String()
+	n := "shard" + strconv.Itoa(len(f.shards)) + "-" + f.cfg.Placement.String()
+	if f.replicated() {
+		n += "-repl"
+	}
+	return n
 }
 
 // NumShards returns the shard count.
@@ -217,6 +328,96 @@ func (f *FS) ShardOps() []int64 {
 // Namespace exposes shard i's authoritative namespace (tests, fsck).
 func (f *FS) Namespace(i int) *namespace.Namespace { return f.shards[i].ns }
 
+// Up reports whether shard i's server is in service.
+func (f *FS) Up(i int) bool { return f.shards[i].up }
+
+// ServingShard returns the index of the server currently serving slice
+// i: i itself, or its backup after a failover.
+func (f *FS) ServingShard(i int) int { return f.serving[i] }
+
+// JournalLen returns the number of dirty journal entries on shard i.
+func (f *FS) JournalLen(i int) int { return len(f.shards[i].journal) }
+
+// replicated reports whether primary/backup replication is in effect.
+func (f *FS) replicated() bool { return f.cfg.Replicate && len(f.shards) > 1 }
+
+// backupOf returns the backup server index of slice i.
+func (f *FS) backupOf(i int) int { return (i + 1) % len(f.shards) }
+
+// Crash takes shard i's server down at the current virtual time: its
+// client and peer endpoints start timing out. With replication, the
+// slice's backup detects the failure after TakeoverDetect, replays the
+// journal and takes over serving the slice (recorded in Takeovers).
+// Crash implements fault.Target.
+func (f *FS) Crash(p *sim.Proc, i int) {
+	sh := f.shards[i]
+	if !sh.up {
+		return
+	}
+	sh.up = false
+	sh.srv.SetDown()
+	sh.peer.SetDown()
+	if !f.replicated() {
+		return
+	}
+	b := f.backupOf(i)
+	if !f.shards[b].up {
+		return // no live backup: the slice stays dark until restart
+	}
+	crashAt := p.Now()
+	f.k.AfterFunc("takeover:"+strconv.Itoa(i), f.cfg.TakeoverDetect, func(q *sim.Proc) {
+		if sh.up || !f.shards[b].up {
+			// The primary returned before the lease expired, or the
+			// backup died during the detection window — either way
+			// there is nothing to promote.
+			return
+		}
+		entries := len(sh.journal)
+		replay := time.Duration(entries) * f.cfg.ReplayPerEntry
+		q.Sleep(replay)
+		if sh.up || !f.shards[b].up {
+			return // the primary recovered first, or the backup crashed mid-replay
+		}
+		f.serving[i] = b
+		f.Takeovers = append(f.Takeovers, Takeover{
+			Shard: i, Backup: b, CrashAt: crashAt,
+			Detect: f.cfg.TakeoverDetect, Replay: replay, Entries: entries,
+		})
+	})
+}
+
+// Restart begins shard i's recovery at the current virtual time: the
+// server replays its journal, then returns to service and reclaims its
+// slice from the backup (failback). Restart implements fault.Target.
+func (f *FS) Restart(p *sim.Proc, i int) {
+	sh := f.shards[i]
+	if sh.up {
+		return
+	}
+	replay := time.Duration(len(sh.journal)) * f.cfg.ReplayPerEntry
+	f.k.AfterFunc("recover:"+strconv.Itoa(i), replay, func(q *sim.Proc) {
+		sh.up = true
+		sh.srv.SetUp()
+		sh.peer.SetUp()
+		f.serving[i] = i
+		sh.journal = sh.journal[:0] // recovery checkpoints the journal
+		sh.checkpoints++
+	})
+}
+
+// backoff returns the deterministic client backoff after attempt failed
+// tries: RetryBackoff doubled per attempt, capped at RetryBackoffMax.
+func (f *FS) backoff(attempt int) time.Duration {
+	d := f.cfg.RetryBackoff
+	for i := 0; i < attempt && d < f.cfg.RetryBackoffMax; i++ {
+		d *= 2
+	}
+	if d > f.cfg.RetryBackoffMax {
+		d = f.cfg.RetryBackoffMax
+	}
+	return d
+}
+
 // hashString is FNV-1a; the routing hash must be stable across runs so
 // identically-seeded simulations shard identically.
 func hashString(s string) uint32 {
@@ -228,35 +429,30 @@ func hashString(s string) uint32 {
 	return h
 }
 
-// ShardOfEntry returns the index of the shard serving the entry at p.
-func (f *FS) ShardOfEntry(p string) int { return f.ownerOf(p).index }
+// ShardOfEntry returns the index of the slice owning the entry at p
+// (its home shard, independent of any failover in progress).
+func (f *FS) ShardOfEntry(p string) int { return f.ownerSlice(p) }
 
-// ShardOfDir returns the index of the shard holding the file contents
+// ShardOfDir returns the index of the slice holding the file contents
 // of directory dir (-1 when the directory spans shards: the root under
 // subtree placement).
-func (f *FS) ShardOfDir(dir string) int {
-	sh := f.contentOf(dir)
-	if sh == nil {
-		return -1
-	}
-	return sh.index
-}
+func (f *FS) ShardOfDir(dir string) int { return f.contentSlice(dir) }
 
-// ownerOf returns the shard serving the directory entry at path p: the
-// shard of p's top-level subtree, or the shard hashing p's parent
+// ownerSlice returns the slice owning the directory entry at path p:
+// the slice of p's top-level subtree, or the slice hashing p's parent
 // directory.
-func (f *FS) ownerOf(p string) *shardSrv {
+func (f *FS) ownerSlice(p string) int {
 	if f.cfg.Placement == PlaceSubtree {
 		top := fs.TopComponent(p)
 		if top == "" {
-			return f.shards[0]
+			return 0
 		}
-		return f.shards[f.subtreeShard(top)]
+		return f.subtreeShard(top)
 	}
-	return f.shards[hashString(fs.ParentDir(p))%uint32(len(f.shards))]
+	return int(hashString(fs.ParentDir(p)) % uint32(len(f.shards)))
 }
 
-// subtreeShard resolves a top-level subtree to its shard: pinned
+// subtreeShard resolves a top-level subtree to its slice: pinned
 // placement when configured, hash of the name otherwise.
 func (f *FS) subtreeShard(top string) int {
 	if i, ok := f.cfg.SubtreeAssign[top]; ok {
@@ -265,25 +461,29 @@ func (f *FS) subtreeShard(top string) int {
 	return int(hashString(top) % uint32(len(f.shards)))
 }
 
-// contentOf returns the shard holding the file entries of directory
-// dir, or nil when the directory spans every shard (the root under
+// contentSlice returns the slice holding the file entries of directory
+// dir, or -1 when the directory spans every shard (the root under
 // subtree placement, whose top-level entries are partitioned).
-func (f *FS) contentOf(dir string) *shardSrv {
+func (f *FS) contentSlice(dir string) int {
 	if f.cfg.Placement == PlaceSubtree {
 		top := fs.TopComponent(dir)
 		if top == "" {
-			return nil
+			return -1
 		}
-		return f.shards[f.subtreeShard(top)]
+		return f.subtreeShard(top)
 	}
-	return f.shards[hashString(dir)%uint32(len(f.shards))]
+	return int(hashString(dir) % uint32(len(f.shards)))
 }
+
+// srvFor returns the server currently serving slice i.
+func (f *FS) srvFor(i int) *shardSrv { return f.shards[f.serving[i]] }
 
 func (f *FS) conn(n *cluster.Node, sh *shardSrv) *simnet.Conn {
 	key := connKey{n, sh.index}
 	c, ok := f.conns[key]
 	if !ok {
 		c = simnet.NewConn(f.k, sh.srv, f.cfg.OneWayLatency, 0)
+		c.FailTimeout = f.cfg.RetryTimeout
 		f.conns[key] = c
 	}
 	return c
@@ -343,6 +543,40 @@ func (f *FS) hop(sp *sim.Proc, dst *shardSrv, body func(q *sim.Proc)) {
 	sp.Sleep(f.cfg.CrossShardLatency)
 }
 
+// commit journals one successful mutation on slice state and, with
+// replication, synchronously mirrors it to the slice's replica partner:
+// the backup in normal operation, or nothing while the partner is down
+// (the state object is shared between the replicas, so a recovering
+// partner catches up by journal replay, not by data transfer). Directory
+// mutations under hash placement skip the mirror — the broadcast already
+// delivered them to every shard, the backup included.
+func (f *FS) commit(sp *sim.Proc, state, srv *shardSrv, kind fs.OpKind, path string) {
+	state.journalAppend(f.cfg.JournalCap, kind, path)
+	if !f.replicated() {
+		return
+	}
+	if f.cfg.Placement == PlaceHashDir && (kind == fs.OpMkdir || kind == fs.OpRmdir) {
+		return
+	}
+	partner := f.backupOf(state.index)
+	if f.serving[state.index] != state.index {
+		partner = state.index
+	}
+	ps := f.shards[partner]
+	if !ps.up || ps == srv {
+		return
+	}
+	f.MirrorCount++
+	sp.Sleep(f.cfg.CrossShardOverhead)
+	sp.Sleep(f.cfg.CrossShardLatency)
+	ps.peer.Do(sp, func(q *sim.Proc) {
+		q.Sleep(f.cfg.CrossShardOverhead)
+		f.charge(q, ps, f.cfg.MirrorService, -1)
+		ps.wafl.LogMetadata(q, f.cfg.MetaLogBytes)
+	})
+	sp.Sleep(f.cfg.CrossShardLatency)
+}
+
 // replicate propagates a successful directory mutation to every other
 // shard (hash placement keeps the directory tree replicated). The state
 // change commits on all replicas at the primary's apply time — the
@@ -350,6 +584,8 @@ func (f *FS) hop(sp *sim.Proc, dst *shardSrv, body func(q *sim.Proc)) {
 // store, so a concurrent request routed to a replica can never observe
 // the directory tree mid-broadcast — while the caller still pays the
 // full interconnect and replica service cost before its RPC returns.
+// Down shards receive the state change without a hop: their replica
+// catches up logically, the way recovery replay would deliver it.
 func (f *FS) replicate(sp *sim.Proc, primary *shardSrv, svc time.Duration, apply func(ns *namespace.Namespace, now time.Duration)) {
 	if f.cfg.Placement != PlaceHashDir || len(f.shards) == 1 {
 		return
@@ -362,7 +598,7 @@ func (f *FS) replicate(sp *sim.Proc, primary *shardSrv, svc time.Duration, apply
 		}
 	}
 	for _, sh := range f.shards {
-		if sh == primary {
+		if sh == primary || !sh.up {
 			continue
 		}
 		sh := sh
@@ -380,7 +616,7 @@ func (f *FS) NewClient(node *cluster.Node, p *sim.Proc) fs.Client {
 
 type openFile struct {
 	path    string
-	sh      *shardSrv
+	slice   int
 	ino     fs.Ino
 	size    int64
 	written int64
@@ -397,6 +633,44 @@ type client struct {
 
 func (c *client) cfg() Config    { return c.fsys.cfg }
 func (c *client) st() *nodeState { return c.fsys.nodeState(c.node) }
+
+// callRetry is the client's retry engine: it repeats attempt() with
+// deterministic exponential backoff while it reports a retryable
+// failure, and gives up with ETIMEDOUT once RetryMax attempts all
+// failed. Every operation gets exactly one budget, including the
+// cross-shard rename whose destination can fail independently of its
+// source.
+func (c *client) callRetry(op, path string, attempt func() (retryable bool)) error {
+	f := c.fsys
+	for n := 0; ; n++ {
+		if !attempt() {
+			return nil
+		}
+		if n+1 >= f.cfg.RetryMax {
+			return fs.NewError(op, path, fs.ETIMEDOUT)
+		}
+		f.RetryCount++
+		c.p.Sleep(f.backoff(n))
+	}
+}
+
+// call issues one RPC for slice, retrying with deterministic exponential
+// backoff while the serving server is down; a failover between attempts
+// redirects the retry to the promoted backup. The service body runs on
+// the serving server's thread pool (srv) against the slice's
+// authoritative state. It returns ETIMEDOUT when RetryMax attempts all
+// failed.
+func (c *client) call(op string, path string, slice int, reqBytes, respBytes int64,
+	service func(sp *sim.Proc, state, srv *shardSrv)) error {
+	f := c.fsys
+	state := f.shards[slice]
+	return c.callRetry(op, path, func() bool {
+		srv := f.srvFor(slice)
+		return f.conn(c.node, srv).TryCall(c.p, reqBytes, respBytes, func(sp *sim.Proc) {
+			service(sp, state, srv)
+		}) != nil
+	})
+}
 
 // resolveParents walks the strict ancestors of p through the dentry
 // cache, issuing one LOOKUP RPC to the owning shard per missing
@@ -418,12 +692,11 @@ func (c *client) resolveParents(p string) error {
 			}
 			continue
 		}
-		sh := f.ownerOf(prefix)
 		var err error
-		f.conn(c.node, sh).Call(c.p, 120, 140, func(sp *sim.Proc) {
-			f.service(sp, sh, cfg.LookupService, -1)
+		cerr := c.call("lookup", prefix, f.ownerSlice(prefix), 120, 140, func(sp *sim.Proc, state, srv *shardSrv) {
+			f.service(sp, srv, cfg.LookupService, -1)
 			var a fs.Attr
-			a, err = sh.ns.Stat(prefix)
+			a, err = state.ns.Stat(prefix)
 			if err == nil {
 				st.dentries.PutPositive(prefix, a.Ino)
 				st.attrs.Put(prefix, a)
@@ -431,6 +704,9 @@ func (c *client) resolveParents(p string) error {
 				st.dentries.PutNegative(prefix)
 			}
 		})
+		if cerr != nil {
+			return cerr
+		}
 		if err != nil {
 			return err
 		}
@@ -438,18 +714,18 @@ func (c *client) resolveParents(p string) error {
 	return nil
 }
 
-// cacheEntry refreshes the node caches for p from its owning shard's
+// cacheEntry refreshes the node caches for p from its owning slice's
 // namespace (client-side bookkeeping, no simulated cost).
 func (c *client) cacheEntry(p string) {
-	sh := c.fsys.ownerOf(p)
-	if a, err := sh.ns.Stat(p); err == nil {
+	state := c.fsys.shards[c.fsys.ownerSlice(p)]
+	if a, err := state.ns.Stat(p); err == nil {
 		st := c.st()
 		st.attrs.Put(p, a)
 		st.dentries.PutPositive(p, a.Ino)
 	}
 }
 
-// Create issues one CREATE RPC to the shard owning the parent
+// Create issues one CREATE RPC to the shard serving the parent
 // directory's files.
 func (c *client) Create(p string) error {
 	f := c.fsys
@@ -462,22 +738,25 @@ func (c *client) Create(p string) error {
 	imutex.Lock(c.p)
 	defer imutex.Unlock()
 
-	sh := f.ownerOf(p)
 	var err error
-	f.conn(c.node, sh).Call(c.p, 160, 160, func(sp *sim.Proc) {
-		if dir, lerr := sh.ns.Lookup(fs.ParentDir(p)); lerr == nil {
-			lock := sh.dirLock(f.k, dir.Ino)
+	cerr := c.call("create", p, f.ownerSlice(p), 160, 160, func(sp *sim.Proc, state, srv *shardSrv) {
+		if dir, lerr := state.ns.Lookup(fs.ParentDir(p)); lerr == nil {
+			lock := state.dirLock(f.k, dir.Ino)
 			lock.Lock(sp)
 			defer lock.Unlock()
-			f.service(sp, sh, cfg.CreateService, dir.NumChildren())
+			f.service(sp, srv, cfg.CreateService, dir.NumChildren())
 		} else {
-			f.service(sp, sh, cfg.CreateService, -1)
+			f.service(sp, srv, cfg.CreateService, -1)
 		}
-		_, err = sh.ns.Create(p, 0o644, sp.Now())
+		_, err = state.ns.Create(p, 0o644, sp.Now())
 		if err == nil {
-			sh.wafl.LogMetadata(sp, cfg.MetaLogBytes)
+			srv.wafl.LogMetadata(sp, cfg.MetaLogBytes)
+			f.commit(sp, state, srv, fs.OpCreate, p)
 		}
 	})
+	if cerr != nil {
+		return cerr
+	}
 	if err != nil {
 		if fs.IsExist(err) {
 			c.cacheEntry(p)
@@ -501,25 +780,28 @@ func (c *client) Mkdir(p string) error {
 	imutex.Lock(c.p)
 	defer imutex.Unlock()
 
-	sh := f.ownerOf(p)
 	var err error
-	f.conn(c.node, sh).Call(c.p, 150, 140, func(sp *sim.Proc) {
-		if dir, lerr := sh.ns.Lookup(fs.ParentDir(p)); lerr == nil {
-			lock := sh.dirLock(f.k, dir.Ino)
+	cerr := c.call("mkdir", p, f.ownerSlice(p), 150, 140, func(sp *sim.Proc, state, srv *shardSrv) {
+		if dir, lerr := state.ns.Lookup(fs.ParentDir(p)); lerr == nil {
+			lock := state.dirLock(f.k, dir.Ino)
 			lock.Lock(sp)
-			f.service(sp, sh, cfg.MkdirService, dir.NumChildren())
+			f.service(sp, srv, cfg.MkdirService, dir.NumChildren())
 			lock.Unlock()
 		} else {
-			f.service(sp, sh, cfg.MkdirService, -1)
+			f.service(sp, srv, cfg.MkdirService, -1)
 		}
-		_, err = sh.ns.Mkdir(p, 0o755, sp.Now())
+		_, err = state.ns.Mkdir(p, 0o755, sp.Now())
 		if err == nil {
-			sh.wafl.LogMetadata(sp, cfg.MetaLogBytes)
-			f.replicate(sp, sh, cfg.MkdirService, func(ns *namespace.Namespace, now time.Duration) {
+			srv.wafl.LogMetadata(sp, cfg.MetaLogBytes)
+			f.replicate(sp, state, cfg.MkdirService, func(ns *namespace.Namespace, now time.Duration) {
 				ns.Mkdir(p, 0o755, now)
 			})
+			f.commit(sp, state, srv, fs.OpMkdir, p)
 		}
 	})
+	if cerr != nil {
+		return cerr
+	}
 	if err != nil {
 		if fs.IsExist(err) {
 			c.cacheEntry(p)
@@ -544,21 +826,25 @@ func (c *client) Rmdir(p string) error {
 	imutex.Lock(c.p)
 	defer imutex.Unlock()
 
-	sh := f.contentOf(p)
-	if sh == nil {
+	slice := f.contentSlice(p)
+	if slice < 0 {
 		return fs.NewError("rmdir", p, fs.EINVAL)
 	}
 	var err error
-	f.conn(c.node, sh).Call(c.p, 150, 140, func(sp *sim.Proc) {
-		f.service(sp, sh, cfg.RemoveService, -1)
-		err = sh.ns.Rmdir(p, sp.Now())
+	cerr := c.call("rmdir", p, slice, 150, 140, func(sp *sim.Proc, state, srv *shardSrv) {
+		f.service(sp, srv, cfg.RemoveService, -1)
+		err = state.ns.Rmdir(p, sp.Now())
 		if err == nil {
-			sh.wafl.LogMetadata(sp, cfg.MetaLogBytes)
-			f.replicate(sp, sh, cfg.RemoveService, func(ns *namespace.Namespace, now time.Duration) {
+			srv.wafl.LogMetadata(sp, cfg.MetaLogBytes)
+			f.replicate(sp, state, cfg.RemoveService, func(ns *namespace.Namespace, now time.Duration) {
 				ns.Rmdir(p, now)
 			})
+			f.commit(sp, state, srv, fs.OpRmdir, p)
 		}
 	})
+	if cerr != nil {
+		return cerr
+	}
 	if err == nil {
 		st := c.st()
 		st.attrs.Invalidate(p)
@@ -567,7 +853,7 @@ func (c *client) Rmdir(p string) error {
 	return err
 }
 
-// Unlink removes a file at the shard owning its parent directory.
+// Unlink removes a file at the shard serving its parent directory.
 func (c *client) Unlink(p string) error {
 	f := c.fsys
 	cfg := c.cfg()
@@ -579,22 +865,25 @@ func (c *client) Unlink(p string) error {
 	imutex.Lock(c.p)
 	defer imutex.Unlock()
 
-	sh := f.ownerOf(p)
 	var err error
-	f.conn(c.node, sh).Call(c.p, 150, 140, func(sp *sim.Proc) {
-		if dir, lerr := sh.ns.Lookup(fs.ParentDir(p)); lerr == nil {
-			lock := sh.dirLock(f.k, dir.Ino)
+	cerr := c.call("unlink", p, f.ownerSlice(p), 150, 140, func(sp *sim.Proc, state, srv *shardSrv) {
+		if dir, lerr := state.ns.Lookup(fs.ParentDir(p)); lerr == nil {
+			lock := state.dirLock(f.k, dir.Ino)
 			lock.Lock(sp)
 			defer lock.Unlock()
-			f.service(sp, sh, cfg.RemoveService, dir.NumChildren())
+			f.service(sp, srv, cfg.RemoveService, dir.NumChildren())
 		} else {
-			f.service(sp, sh, cfg.RemoveService, -1)
+			f.service(sp, srv, cfg.RemoveService, -1)
 		}
-		err = sh.ns.Unlink(p, sp.Now())
+		err = state.ns.Unlink(p, sp.Now())
 		if err == nil {
-			sh.wafl.LogMetadata(sp, cfg.MetaLogBytes)
+			srv.wafl.LogMetadata(sp, cfg.MetaLogBytes)
+			f.commit(sp, state, srv, fs.OpUnlink, p)
 		}
 	})
+	if cerr != nil {
+		return cerr
+	}
 	if err == nil {
 		st := c.st()
 		st.attrs.Invalidate(p)
@@ -612,7 +901,9 @@ func (c *client) Unlink(p string) error {
 // files and invalidate its replicas — it returns EXDEV like any
 // multi-device rename (§2.6.3), as does any rename whose source is not
 // a regular file crossing a shard boundary. Under subtree placement a
-// directory rename inside one subtree stays local and is allowed.
+// directory rename inside one subtree stays local and is allowed. A
+// migrate whose destination server is down fails the whole operation
+// with a timeout and the client retries it from the source.
 func (c *client) Rename(oldPath, newPath string) error {
 	f := c.fsys
 	cfg := c.cfg()
@@ -627,24 +918,24 @@ func (c *client) Rename(oldPath, newPath string) error {
 	imutex.Lock(c.p)
 	defer imutex.Unlock()
 
-	src := f.ownerOf(oldPath)
-	dst := f.ownerOf(newPath)
+	srcSlice := f.ownerSlice(oldPath)
+	dstSlice := f.ownerSlice(newPath)
 	var err error
-	if src == dst {
-		f.conn(c.node, src).Call(c.p, 150, 140, func(sp *sim.Proc) {
-			if dir, lerr := src.ns.Lookup(fs.ParentDir(oldPath)); lerr == nil {
-				lock := src.dirLock(f.k, dir.Ino)
+	if srcSlice == dstSlice {
+		cerr := c.call("rename", oldPath, srcSlice, 150, 140, func(sp *sim.Proc, state, srv *shardSrv) {
+			if dir, lerr := state.ns.Lookup(fs.ParentDir(oldPath)); lerr == nil {
+				lock := state.dirLock(f.k, dir.Ino)
 				lock.Lock(sp)
 				defer lock.Unlock()
-				f.service(sp, src, cfg.RenameService, dir.NumChildren())
+				f.service(sp, srv, cfg.RenameService, dir.NumChildren())
 			} else {
-				f.service(sp, src, cfg.RenameService, -1)
+				f.service(sp, srv, cfg.RenameService, -1)
 			}
 			if f.cfg.Placement == PlaceHashDir && len(f.shards) > 1 {
 				// Renaming a directory would strand its hashed files
 				// and stale the replicated tree on the other shards.
 				var a fs.Attr
-				a, err = src.ns.Stat(oldPath)
+				a, err = state.ns.Stat(oldPath)
 				if err != nil {
 					return
 				}
@@ -653,49 +944,77 @@ func (c *client) Rename(oldPath, newPath string) error {
 					return
 				}
 			}
-			err = src.ns.Rename(oldPath, newPath, sp.Now())
+			err = state.ns.Rename(oldPath, newPath, sp.Now())
 			if err == nil {
-				src.wafl.LogMetadata(sp, cfg.MetaLogBytes)
+				srv.wafl.LogMetadata(sp, cfg.MetaLogBytes)
+				f.commit(sp, state, srv, fs.OpRename, newPath)
 			}
 		})
+		if cerr != nil {
+			return cerr
+		}
 	} else {
-		f.conn(c.node, src).Call(c.p, 150, 140, func(sp *sim.Proc) {
-			f.service(sp, src, cfg.RenameService, -1)
-			var a fs.Attr
-			a, err = src.ns.Stat(oldPath)
-			if err != nil {
-				return
-			}
-			if a.Type != fs.TypeRegular {
-				err = fs.NewError("rename", newPath, fs.EXDEV)
-				return
-			}
-			// Phase 1: insert at the destination shard.
-			f.hop(sp, dst, func(q *sim.Proc) {
-				f.charge(q, dst, cfg.RenameService, -1)
-				if derr := dst.ns.Unlink(newPath, q.Now()); derr != nil && !fs.IsNotExist(derr) {
-					err = derr
+		// The migrate pairs two servers, and either can be down: a dead
+		// source fails the TryCall, a dead destination aborts the
+		// service body after the client's RPC timeout. Both are
+		// retryable failures drawing on the one callRetry budget, and
+		// every retry restarts the migrate from the source phase.
+		srcState := f.shards[srcSlice]
+		cerr := c.callRetry("rename", newPath, func() bool {
+			err = nil
+			dstDown := false
+			srv := f.srvFor(srcSlice)
+			terr := f.conn(c.node, srv).TryCall(c.p, 150, 140, func(sp *sim.Proc) {
+				f.service(sp, srv, cfg.RenameService, -1)
+				var a fs.Attr
+				a, err = srcState.ns.Stat(oldPath)
+				if err != nil {
 					return
 				}
-				var ni *namespace.Inode
-				ni, err = dst.ns.Create(newPath, a.Mode, q.Now())
-				if err == nil {
-					if a.Size > 0 {
-						dst.ns.SetSize(ni.Ino, a.Size, q.Now())
+				if a.Type != fs.TypeRegular {
+					err = fs.NewError("rename", newPath, fs.EXDEV)
+					return
+				}
+				dstState := f.shards[dstSlice]
+				dstSrv := f.srvFor(dstSlice)
+				if !dstSrv.up {
+					dstDown = true
+					sp.Sleep(f.cfg.RetryTimeout)
+					return
+				}
+				// Phase 1: insert at the destination shard.
+				f.hop(sp, dstSrv, func(q *sim.Proc) {
+					f.charge(q, dstSrv, cfg.RenameService, -1)
+					if derr := dstState.ns.Unlink(newPath, q.Now()); derr != nil && !fs.IsNotExist(derr) {
+						err = derr
+						return
 					}
-					dst.wafl.LogMetadata(q, cfg.MetaLogBytes)
+					var ni *namespace.Inode
+					ni, err = dstState.ns.Create(newPath, a.Mode, q.Now())
+					if err == nil {
+						if a.Size > 0 {
+							dstState.ns.SetSize(ni.Ino, a.Size, q.Now())
+						}
+						dstSrv.wafl.LogMetadata(q, cfg.MetaLogBytes)
+						f.commit(q, dstState, dstSrv, fs.OpRename, newPath)
+					}
+				})
+				if err != nil {
+					return
+				}
+				// Phase 2: remove at the source shard.
+				f.charge(sp, srcState, cfg.RemoveService, -1)
+				err = srcState.ns.Unlink(oldPath, sp.Now())
+				if err == nil {
+					srv.wafl.LogMetadata(sp, cfg.MetaLogBytes)
+					f.commit(sp, srcState, srv, fs.OpUnlink, oldPath)
 				}
 			})
-			if err != nil {
-				return
-			}
-			// Phase 2: remove at the source shard.
-			f.charge(sp, src, cfg.RemoveService, -1)
-			err = src.ns.Unlink(oldPath, sp.Now())
-			if err == nil {
-				src.wafl.LogMetadata(sp, cfg.MetaLogBytes)
-			}
+			return terr != nil || dstDown
 		})
+		if cerr != nil {
+			return cerr
+		}
 	}
 	if err == nil {
 		st := c.st()
@@ -716,29 +1035,33 @@ func (c *client) Link(oldPath, newPath string) error {
 	if err := c.resolveParents(newPath); err != nil {
 		return err
 	}
-	src := f.ownerOf(oldPath)
-	dst := f.ownerOf(newPath)
-	if src != dst {
+	srcSlice := f.ownerSlice(oldPath)
+	dstSlice := f.ownerSlice(newPath)
+	if srcSlice != dstSlice {
 		return fs.NewError("link", newPath, fs.EXDEV)
 	}
 	imutex := c.node.DirLock(fs.ParentDir(newPath))
 	imutex.Lock(c.p)
 	defer imutex.Unlock()
 	var err error
-	f.conn(c.node, dst).Call(c.p, 150, 140, func(sp *sim.Proc) {
-		f.service(sp, dst, cfg.CreateService, -1)
-		err = dst.ns.Link(oldPath, newPath, sp.Now())
+	cerr := c.call("link", newPath, dstSlice, 150, 140, func(sp *sim.Proc, state, srv *shardSrv) {
+		f.service(sp, srv, cfg.CreateService, -1)
+		err = state.ns.Link(oldPath, newPath, sp.Now())
 		if err == nil {
-			dst.wafl.LogMetadata(sp, cfg.MetaLogBytes)
+			srv.wafl.LogMetadata(sp, cfg.MetaLogBytes)
+			f.commit(sp, state, srv, fs.OpLink, newPath)
 		}
 	})
+	if cerr != nil {
+		return cerr
+	}
 	if err == nil {
 		c.cacheEntry(newPath)
 	}
 	return err
 }
 
-// Symlink stores the target string at the shard owning linkPath.
+// Symlink stores the target string at the shard serving linkPath.
 func (c *client) Symlink(target, linkPath string) error {
 	f := c.fsys
 	cfg := c.cfg()
@@ -749,15 +1072,18 @@ func (c *client) Symlink(target, linkPath string) error {
 	imutex := c.node.DirLock(fs.ParentDir(linkPath))
 	imutex.Lock(c.p)
 	defer imutex.Unlock()
-	sh := f.ownerOf(linkPath)
 	var err error
-	f.conn(c.node, sh).Call(c.p, 150, 140, func(sp *sim.Proc) {
-		f.service(sp, sh, cfg.CreateService, -1)
-		_, err = sh.ns.Symlink(target, linkPath, sp.Now())
+	cerr := c.call("symlink", linkPath, f.ownerSlice(linkPath), 150, 140, func(sp *sim.Proc, state, srv *shardSrv) {
+		f.service(sp, srv, cfg.CreateService, -1)
+		_, err = state.ns.Symlink(target, linkPath, sp.Now())
 		if err == nil {
-			sh.wafl.LogMetadata(sp, cfg.MetaLogBytes)
+			srv.wafl.LogMetadata(sp, cfg.MetaLogBytes)
+			f.commit(sp, state, srv, fs.OpSymlink, linkPath)
 		}
 	})
+	if cerr != nil {
+		return cerr
+	}
 	if err == nil {
 		c.cacheEntry(linkPath)
 	}
@@ -765,7 +1091,7 @@ func (c *client) Symlink(target, linkPath string) error {
 }
 
 // Stat serves from the attribute cache when fresh, else issues GETATTR
-// to the owning shard.
+// to the serving shard.
 func (c *client) Stat(p string) (fs.Attr, error) {
 	f := c.fsys
 	cfg := c.cfg()
@@ -777,13 +1103,15 @@ func (c *client) Stat(p string) (fs.Attr, error) {
 	if err := c.resolveParents(p); err != nil {
 		return fs.Attr{}, err
 	}
-	sh := f.ownerOf(p)
 	var a fs.Attr
 	var err error
-	f.conn(c.node, sh).Call(c.p, 120, 140, func(sp *sim.Proc) {
-		f.service(sp, sh, cfg.GetattrService, -1)
-		a, err = sh.ns.Stat(p)
+	cerr := c.call("stat", p, f.ownerSlice(p), 120, 140, func(sp *sim.Proc, state, srv *shardSrv) {
+		f.service(sp, srv, cfg.GetattrService, -1)
+		a, err = state.ns.Stat(p)
 	})
+	if cerr != nil {
+		return fs.Attr{}, cerr
+	}
 	if err != nil {
 		return fs.Attr{}, err
 	}
@@ -793,7 +1121,7 @@ func (c *client) Stat(p string) (fs.Attr, error) {
 }
 
 // Open resolves the path (dentry cache, else LOOKUP at the owner) and
-// returns a handle bound to the owning shard.
+// returns a handle bound to the owning slice.
 func (c *client) Open(p string) (fs.Handle, error) {
 	f := c.fsys
 	cfg := c.cfg()
@@ -801,15 +1129,16 @@ func (c *client) Open(p string) (fs.Handle, error) {
 	if err := c.resolveParents(p); err != nil {
 		return 0, err
 	}
-	sh := f.ownerOf(p)
+	slice := f.ownerSlice(p)
+	state := f.shards[slice]
 	st := c.st()
 	ino, neg, ok := st.dentries.Lookup(p)
 	if !ok {
 		var err error
-		f.conn(c.node, sh).Call(c.p, 120, 140, func(sp *sim.Proc) {
-			f.service(sp, sh, cfg.LookupService, -1)
+		cerr := c.call("open", p, slice, 120, 140, func(sp *sim.Proc, state, srv *shardSrv) {
+			f.service(sp, srv, cfg.LookupService, -1)
 			var a fs.Attr
-			a, err = sh.ns.Stat(p)
+			a, err = state.ns.Stat(p)
 			if err == nil {
 				ino = a.Ino
 				st.attrs.Put(p, a)
@@ -818,20 +1147,23 @@ func (c *client) Open(p string) (fs.Handle, error) {
 				st.dentries.PutNegative(p)
 			}
 		})
+		if cerr != nil {
+			return 0, cerr
+		}
 		if err != nil {
 			return 0, err
 		}
 	} else if neg {
 		return 0, fs.NewError("open", p, fs.ENOENT)
 	}
-	node := sh.ns.Get(ino)
+	node := state.ns.Get(ino)
 	if node == nil {
 		st.dentries.Invalidate(p)
 		return 0, fs.NewError("open", p, fs.ESTALE)
 	}
 	c.nextFH++
 	h := c.nextFH
-	c.handles[h] = &openFile{path: p, sh: sh, ino: ino, size: node.Size}
+	c.handles[h] = &openFile{path: p, slice: slice, ino: ino, size: node.Size}
 	return h, nil
 }
 
@@ -844,7 +1176,7 @@ func (c *client) Close(h fs.Handle) error {
 	}
 	delete(c.handles, h)
 	if of.dirty {
-		c.flush(of)
+		return c.flush(of)
 	}
 	return nil
 }
@@ -861,7 +1193,7 @@ func (c *client) Write(h fs.Handle, n int64) error {
 	return nil
 }
 
-// Fsync forces dirty data to the owning shard.
+// Fsync forces dirty data to the serving shard.
 func (c *client) Fsync(h fs.Handle) error {
 	c.node.Syscall(c.p)
 	of, ok := c.handles[h]
@@ -869,27 +1201,33 @@ func (c *client) Fsync(h fs.Handle) error {
 		return fs.NewError("fsync", "", fs.EBADF)
 	}
 	if of.dirty {
-		c.flush(of)
+		return c.flush(of)
 	}
 	return nil
 }
 
-func (c *client) flush(of *openFile) {
+func (c *client) flush(of *openFile) error {
 	f := c.fsys
 	cfg := c.cfg()
 	newSize := of.size + of.written
-	f.conn(c.node, of.sh).Call(c.p, 120+of.written, 140, func(sp *sim.Proc) {
-		t := time.Duration(float64(cfg.WriteServicePerKB) * float64(of.written) / 1024)
-		f.service(sp, of.sh, t, -1)
-		of.sh.ns.SetSize(of.ino, newSize, sp.Now())
-		of.sh.wafl.LogMetadata(sp, cfg.MetaLogBytes+of.written)
+	written := of.written
+	cerr := c.call("write", of.path, of.slice, 120+written, 140, func(sp *sim.Proc, state, srv *shardSrv) {
+		t := time.Duration(float64(cfg.WriteServicePerKB) * float64(written) / 1024)
+		f.service(sp, srv, t, -1)
+		state.ns.SetSize(of.ino, newSize, sp.Now())
+		srv.wafl.LogMetadata(sp, cfg.MetaLogBytes+written)
+		f.commit(sp, state, srv, fs.OpWrite, of.path)
 	})
+	if cerr != nil {
+		return cerr
+	}
 	of.size = newSize
 	of.written = 0
 	of.dirty = false
-	if a, err := of.sh.ns.Stat(of.path); err == nil {
+	if a, err := f.shards[of.slice].ns.Stat(of.path); err == nil {
 		c.st().attrs.Put(of.path, a)
 	}
+	return nil
 }
 
 // readdirCost returns the service time of listing n entries: one
@@ -904,33 +1242,49 @@ func readdirCost(cfg Config, n int) time.Duration {
 		time.Duration(n)*cfg.ReaddirPerEntry
 }
 
-// ReadDir lists a directory from the shard holding its files. Under
+// ReadDir lists a directory from the shard serving its files. Under
 // subtree placement the root spans every shard, so a root listing
 // visits the peers over the interconnect and merges their top-level
 // entries — the namespace-aggregation view of §4.7 at MDS granularity.
+// Peers that are down are skipped: the listing degrades the way an
+// aggregated namespace does when one volume server times out.
 func (c *client) ReadDir(p string) ([]fs.DirEntry, error) {
 	f := c.fsys
 	cfg := c.cfg()
 	c.node.Syscall(c.p)
-	sh := f.contentOf(p)
-	if sh == nil {
-		home := f.shards[c.node.Index%len(f.shards)]
+	slice := f.contentSlice(p)
+	if slice < 0 {
+		homeSlice := c.node.Index % len(f.shards)
 		var ents []fs.DirEntry
 		var err error
-		f.conn(c.node, home).Call(c.p, 130, 260, func(sp *sim.Proc) {
+		cerr := c.call("readdir", p, homeSlice, 130, 260, func(sp *sim.Proc, home, srv *shardSrv) {
 			ents, err = home.ns.ReadDir(p, sp.Now())
 			if err != nil {
-				f.service(sp, home, cfg.ReaddirService, -1)
+				f.service(sp, srv, cfg.ReaddirService, -1)
 				return
 			}
-			f.service(sp, home, readdirCost(cfg, len(ents)), -1)
-			for _, peer := range f.shards {
-				if peer == home {
+			f.service(sp, srv, readdirCost(cfg, len(ents)), -1)
+			for i := range f.shards {
+				if i == homeSlice {
 					continue
 				}
-				peer := peer
+				peer := f.srvFor(i)
+				state := f.shards[i]
+				if peer == srv {
+					// A failover made this server serve the peer slice
+					// too: merge locally, no interconnect hop.
+					more, merr := state.ns.ReadDir(p, sp.Now())
+					if merr == nil {
+						f.charge(sp, srv, readdirCost(cfg, len(more)), -1)
+						ents = append(ents, more...)
+					}
+					continue
+				}
+				if !peer.up {
+					continue
+				}
 				f.hop(sp, peer, func(q *sim.Proc) {
-					more, merr := peer.ns.ReadDir(p, q.Now())
+					more, merr := state.ns.ReadDir(p, q.Now())
 					if merr != nil {
 						return
 					}
@@ -939,18 +1293,24 @@ func (c *client) ReadDir(p string) ([]fs.DirEntry, error) {
 				})
 			}
 		})
+		if cerr != nil {
+			return nil, cerr
+		}
 		return ents, err
 	}
 	var ents []fs.DirEntry
 	var err error
-	f.conn(c.node, sh).Call(c.p, 130, 260, func(sp *sim.Proc) {
-		ents, err = sh.ns.ReadDir(p, sp.Now())
+	cerr := c.call("readdir", p, slice, 130, 260, func(sp *sim.Proc, state, srv *shardSrv) {
+		ents, err = state.ns.ReadDir(p, sp.Now())
 		if err != nil {
-			f.service(sp, sh, cfg.ReaddirService, -1)
+			f.service(sp, srv, cfg.ReaddirService, -1)
 			return
 		}
-		f.service(sp, sh, readdirCost(cfg, len(ents)), -1)
+		f.service(sp, srv, readdirCost(cfg, len(ents)), -1)
 	})
+	if cerr != nil {
+		return nil, cerr
+	}
 	return ents, err
 }
 

@@ -11,7 +11,11 @@
 //
 // The kernel is the substrate for every simulated subsystem in this
 // repository: cluster nodes, networks, storage devices and the file system
-// models are all built from sim processes and sim resources.
+// models are all built from sim processes and sim resources. Strict
+// determinism is what makes the thesis methodology reproducible here: the
+// per-interval traces and COV analysis of §3.2.5/§3.3.9 — and the fault
+// timelines injected on top of them — come out byte-identical for a
+// given seed.
 //
 // Scheduling is built for throughput: the event queue is a concrete-typed
 // binary heap (no interface boxing, storage reused across events), a
@@ -253,6 +257,19 @@ func (k *Kernel) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
 // Spawn starts a child process from a running process.
 func (p *Proc) Spawn(name string, fn func(p *Proc)) *Proc {
 	return p.k.Spawn(name, fn)
+}
+
+// AfterFunc spawns a daemon process that sleeps d of virtual time and
+// then runs fn — the timer primitive behind deterministic disturbance
+// and fault injection (internal/fault). Because the timer is a daemon,
+// it only fires while non-daemon processes keep the simulation alive: an
+// injection scheduled beyond the end of the workload never runs, and
+// never prevents termination.
+func (k *Kernel) AfterFunc(name string, d Time, fn func(p *Proc)) *Proc {
+	return k.SpawnDaemon(name, func(p *Proc) {
+		p.Sleep(d)
+		fn(p)
+	})
 }
 
 // park transfers control to the next runnable process (or, when nothing

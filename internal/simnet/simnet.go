@@ -7,25 +7,62 @@
 // request/response latency and server queueing (§4.6), not by wire
 // details, so a latency + bandwidth + thread-pool abstraction captures
 // the relevant behaviour.
+//
+// Servers can be marked down and up again (SetDown/SetUp), the substrate
+// hook the failure-injection experiments (E19–E21, internal/fault) drive:
+// a Conn.TryCall against a down server burns the client-observed RPC
+// timeout and returns ErrDown instead of executing its service body.
 package simnet
 
 import (
+	"errors"
 	"time"
 
 	"dmetabench/internal/sim"
 )
+
+// ErrDown is returned by TryCall when the server is down: the client's
+// request received no reply within its timeout.
+var ErrDown = errors.New("simnet: server down")
+
+// DefaultFailTimeout is the client-observed RPC timeout charged by
+// TryCall against a down server when the connection sets none.
+const DefaultFailTimeout = 500 * time.Millisecond
 
 // Server is an RPC service endpoint with a bounded worker thread pool.
 // Requests queue in arrival order when all threads are busy.
 type Server struct {
 	Name    string
 	Threads *sim.Resource
+
+	down  bool
+	downs int64
 }
 
 // NewServer returns a server with the given number of worker threads.
 func NewServer(k *sim.Kernel, name string, threads int) *Server {
 	return &Server{Name: name, Threads: sim.NewResource(k, "srv:"+name, threads)}
 }
+
+// SetDown marks the server crashed: subsequent (and already queued)
+// TryCall requests fail with ErrDown until SetUp. State changes take
+// effect between operations — the simulator runs one process at a time,
+// so a service body never observes the flag flipping mid-execution.
+func (s *Server) SetDown() {
+	if !s.down {
+		s.down = true
+		s.downs++
+	}
+}
+
+// SetUp marks the server reachable again.
+func (s *Server) SetUp() { s.down = false }
+
+// IsDown reports whether the server is currently down.
+func (s *Server) IsDown() bool { return s.down }
+
+// Downs returns the number of times the server has gone down.
+func (s *Server) Downs() int64 { return s.downs }
 
 // Do runs service while holding one of the server's worker threads,
 // without a network path: the execution-context half of Call. Servers
@@ -46,6 +83,10 @@ type Conn struct {
 	Latency time.Duration
 	// Bandwidth in bytes per second; 0 means unlimited.
 	Bandwidth int64
+	// FailTimeout is the time a TryCall against a down server blocks
+	// before reporting ErrDown (the client's RPC timeout). Zero means
+	// DefaultFailTimeout.
+	FailTimeout time.Duration
 	// wire serializes transfers on this connection when bandwidth-limited.
 	wire *sim.Resource
 }
@@ -89,6 +130,40 @@ func (c *Conn) Call(p *sim.Proc, reqBytes, respBytes int64, service func(p *sim.
 	service(p)
 	c.srv.Threads.Release()
 	c.send(p, respBytes)
+}
+
+// failTimeout returns the effective client RPC timeout.
+func (c *Conn) failTimeout() time.Duration {
+	if c.FailTimeout > 0 {
+		return c.FailTimeout
+	}
+	return DefaultFailTimeout
+}
+
+// TryCall is Call against a server that may be down. A request to a down
+// server blocks for the connection's FailTimeout (the client waiting out
+// its RPC timer) and returns ErrDown without running the service body; a
+// request that was already queued for a worker thread when the server
+// crashed fails the same way once dequeued. Fault-tolerant clients wrap
+// TryCall in a retry loop with deterministic backoff (internal/shard).
+func (c *Conn) TryCall(p *sim.Proc, reqBytes, respBytes int64, service func(p *sim.Proc)) error {
+	if c.srv.down {
+		p.Sleep(c.failTimeout())
+		return ErrDown
+	}
+	c.send(p, reqBytes)
+	c.srv.Threads.Acquire(p)
+	if c.srv.down {
+		// The server crashed while this request sat in its queue: the
+		// service never ran, the client times out like an unsent request.
+		c.srv.Threads.Release()
+		p.Sleep(c.failTimeout())
+		return ErrDown
+	}
+	service(p)
+	c.srv.Threads.Release()
+	c.send(p, respBytes)
+	return nil
 }
 
 // OneWay models a fire-and-forget message (used for asynchronous

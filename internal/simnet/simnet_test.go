@@ -101,6 +101,67 @@ func TestRTT(t *testing.T) {
 	}
 }
 
+func TestTryCallOnDownServer(t *testing.T) {
+	k := sim.New(1)
+	srv := NewServer(k, "s", 1)
+	conn := NewConn(k, srv, time.Millisecond, 0)
+	conn.FailTimeout = 100 * time.Millisecond
+	var errDown, errUp error
+	var downElapsed time.Duration
+	served := 0
+	k.Spawn("client", func(p *sim.Proc) {
+		srv.SetDown()
+		start := p.Now()
+		errDown = conn.TryCall(p, 100, 100, func(sp *sim.Proc) { served++ })
+		downElapsed = p.Now() - start
+		srv.SetUp()
+		errUp = conn.TryCall(p, 100, 100, func(sp *sim.Proc) { served++ })
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if errDown != ErrDown {
+		t.Fatalf("down call error = %v, want ErrDown", errDown)
+	}
+	if downElapsed != 100*time.Millisecond {
+		t.Fatalf("down call blocked %v, want the 100ms fail timeout", downElapsed)
+	}
+	if errUp != nil || served != 1 {
+		t.Fatalf("recovered call: err=%v served=%d, want nil/1", errUp, served)
+	}
+	if srv.Downs() != 1 {
+		t.Fatalf("Downs() = %d, want 1", srv.Downs())
+	}
+}
+
+func TestTryCallQueuedAtCrash(t *testing.T) {
+	// A request already queued for a worker thread when the server goes
+	// down must fail with ErrDown instead of running its service body.
+	k := sim.New(1)
+	srv := NewServer(k, "s", 1)
+	conn := NewConn(k, srv, 0, 0)
+	conn.FailTimeout = 50 * time.Millisecond
+	var queuedErr error
+	queuedServed := false
+	k.Spawn("holder", func(p *sim.Proc) {
+		conn.TryCall(p, 0, 0, func(sp *sim.Proc) { sp.Sleep(10 * time.Millisecond) })
+	})
+	k.Spawn("queued", func(p *sim.Proc) {
+		p.Yield() // let the holder occupy the only thread first
+		queuedErr = conn.TryCall(p, 0, 0, func(sp *sim.Proc) { queuedServed = true })
+	})
+	k.Spawn("crasher", func(p *sim.Proc) {
+		p.Sleep(5 * time.Millisecond)
+		srv.SetDown()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if queuedErr != ErrDown || queuedServed {
+		t.Fatalf("queued call: err=%v served=%v, want ErrDown/false", queuedErr, queuedServed)
+	}
+}
+
 func TestServerDoHoldsThread(t *testing.T) {
 	k := sim.New(1)
 	srv := NewServer(k, "s", 1)

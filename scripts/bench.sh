@@ -1,25 +1,39 @@
 #!/bin/sh
 # bench.sh — snapshot the substrate micro-benchmarks into BENCH_<date>.json
 #
-# Usage: scripts/bench.sh [output-dir] [-count N]   (default: repo root, 1)
+# Usage: scripts/bench.sh [output-dir] [-count N] [-substrate-only]
+#        (default: repo root, 1, full snapshot)
 #
 # The snapshot records ns/op, B/op and allocs/op for the simulator
-# substrate benchmarks, plus the toolchain and commit that produced it,
-# so future PRs have a perf trajectory to compare against (see DESIGN.md,
-# "Performance-regression workflow"). With -count N every benchmark runs
-# N times; the JSON stores the per-benchmark mean and the raw `go test`
-# output is written alongside as BENCH_<date>.txt for benchstat.
+# substrate benchmarks plus the fault-injection experiments (E19–E21),
+# and the toolchain and commit that produced it, so future PRs have a
+# perf trajectory to compare against (see DESIGN.md,
+# "Performance-regression workflow"). The E19–E21 entries record the
+# real-time cost of a full failover experiment run; they are in the
+# snapshot for the trajectory only — the bench gate never compares them
+# (their timelines are intentionally non-steady-state), so it passes
+# -substrate-only to skip them entirely. With -count N every benchmark
+# runs N times; the JSON stores the per-benchmark mean and the raw
+# `go test` output is written alongside as BENCH_<date>.txt for
+# benchstat.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 outdir="."
 count=1
+substrate='BenchmarkSimulatedCreate$|BenchmarkShardedCreate$|BenchmarkNamespaceCreate$|BenchmarkRunnerMeasurement$'
+failover='BenchmarkE19Failover$|BenchmarkE20ReplicationOverhead$|BenchmarkE21RecoveryScaling$'
+pattern="$substrate|$failover"
 while [ $# -gt 0 ]; do
 	case "$1" in
 	-count)
 		count="$2"
 		shift 2
+		;;
+	-substrate-only)
+		pattern="$substrate"
+		shift
 		;;
 	*)
 		outdir="$1"
@@ -31,8 +45,7 @@ done
 mkdir -p "$outdir"
 out="$outdir/BENCH_$(date +%Y-%m-%d).json"
 
-raw=$(go test -run '^$' \
-	-bench 'BenchmarkSimulatedCreate$|BenchmarkShardedCreate$|BenchmarkNamespaceCreate$|BenchmarkRunnerMeasurement$' \
+raw=$(go test -run '^$' -bench "$pattern" \
 	-benchmem -benchtime=1s -count="$count" .)
 
 if [ "$count" -gt 1 ]; then
@@ -53,8 +66,15 @@ BEGIN {
 	n = 0
 }
 /^Benchmark/ {
+	# Locate values by their unit label: experiment benchmarks insert
+	# extra ReportMetric columns between ns/op and B/op.
 	name = $1; sub(/-[0-9]+$/, "", name)
-	ns[name] += $3; bytes[name] += $5; allocs[name] += $7; runs[name]++
+	for (i = 3; i <= NF; i++) {
+		if ($i == "ns/op") ns[name] += $(i - 1)
+		else if ($i == "B/op") bytes[name] += $(i - 1)
+		else if ($i == "allocs/op") allocs[name] += $(i - 1)
+	}
+	runs[name]++
 	if (!(name in seen)) { order[n++] = name; seen[name] = 1 }
 }
 END {

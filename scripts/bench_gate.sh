@@ -23,8 +23,10 @@ if [ -z "$baseline" ]; then
 fi
 
 # Three samples per benchmark: one 1s sample on a shared CI runner is
-# too noisy for a hard gate; the snapshot records the mean.
-scripts/bench.sh "$outdir" -count 3
+# too noisy for a hard gate; the snapshot records the mean. Substrate
+# benchmarks only — the gate never compares the failover experiments,
+# so it does not pay for running them.
+scripts/bench.sh "$outdir" -count 3 -substrate-only
 fresh=$(ls "$outdir"/BENCH_*.json | sort | tail -1)
 
 extract() {
