@@ -168,6 +168,21 @@ func BenchmarkE21RecoveryScaling(b *testing.B) {
 	runExperiment(b, experiments.E21RecoveryScaling, "detection floor")
 }
 
+func BenchmarkE22LeaseTTL(b *testing.B) {
+	runExperiment(b, experiments.E22LeaseTTL,
+		"lease  25ms: hit rate", "lease    4s: hit rate")
+}
+
+func BenchmarkE23CacheModes(b *testing.B) {
+	runExperiment(b, experiments.E23CacheModes,
+		"4 shards: lease 30s hit rate", "4 shards: ttl 3s hit rate")
+}
+
+func BenchmarkE24FailoverCachedLoad(b *testing.B) {
+	runExperiment(b, experiments.E24FailoverCachedLoad,
+		"invalidate: stale-read window", "no invalidate: stale-read window")
+}
+
 func BenchmarkA01AveragingMethods(b *testing.B) {
 	runExperiment(b, experiments.A01AveragingMethods,
 		"wall-clock average", "stonewall average")
@@ -220,6 +235,38 @@ func BenchmarkShardedCreate(b *testing.B) {
 		}
 	})
 	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkCachedGetattr measures the real-time cost of one coherent
+// cache hit: a stat served from a live lease on the sharded MDS model
+// (4 shards, lease mode) — the fast path every E22–E24 run spends most
+// of its operations on, gated alongside SimulatedCreate.
+func BenchmarkCachedGetattr(b *testing.B) {
+	k := sim.New(1)
+	cl := cluster.New(k, cluster.DefaultConfig(1))
+	cfg := shard.DefaultConfig(4)
+	cfg.CacheMode = shard.CacheLease
+	cfg.LeaseTTL = time.Hour
+	fsys := shard.New(k, "bench", cfg)
+	k.Spawn("statter", func(p *sim.Proc) {
+		c := fsys.NewClient(cl.Nodes[0], p)
+		c.Mkdir("/d")
+		c.Create("/d/f")
+		if _, err := c.Stat("/d/f"); err != nil { // take the lease
+			b.Error(err)
+			return
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Stat("/d/f"); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
 	if err := k.Run(); err != nil {
 		b.Fatal(err)
 	}

@@ -2,7 +2,10 @@
 // in Distributed File Systems" (C. Biardzki, 2009): the DMetabench
 // distributed metadata benchmark framework, deterministic simulations of
 // the distributed file systems it was evaluated on (NFS/WAFL, Lustre,
-// Ontap GX, AFS, CXFS), and the full Chapter-4 experiment suite.
+// Ontap GX, AFS, CXFS), and the full Chapter-4 experiment suite —
+// extended past the thesis with a sharded multi-MDS model
+// (internal/shard) carrying fault injection, primary/backup failover
+// and lease-based client cache coherence (experiments E16–E24).
 //
 // See README.md for the layout, DESIGN.md for the system inventory and
 // EXPERIMENTS.md for the paper-vs-measured record. The root package holds

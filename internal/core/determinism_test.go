@@ -61,6 +61,31 @@ func runAndSave(t *testing.T, seed int64, mode string) map[string]string {
 				plan.Start(mp, fsys)
 			},
 		}
+	case "shard-coherent":
+		// Lease-coherent client caches on a replicated sharded service
+		// under a mid-run crash: lease grants, revocation callbacks,
+		// delegation handoffs, the takeover's epoch bump (bulk lease
+		// invalidation) and the post-failover refetches must all land
+		// at identical virtual times across identically-seeded runs.
+		cfg := shard.DefaultConfig(4)
+		cfg.Replicate = true
+		cfg.CacheMode = shard.CacheLease
+		cfg.TrackStaleness = true
+		cfg.LeaseTTL = 2 * time.Second
+		cfg.TakeoverDetect = 100 * time.Millisecond
+		fsys := shard.New(k, "meta", cfg)
+		plan := (&fault.Plan{}).Outage(300*time.Millisecond, 900*time.Millisecond, 1)
+		r = &Runner{
+			Cluster: cl,
+			FS:      fsys,
+			Params: Params{ProblemSize: 300, WorkDir: "/bench",
+				TimeLimit: 1300 * time.Millisecond, Interval: 100 * time.Millisecond},
+			SlotsPerNode: 2,
+			Plugins:      []Plugin{StatMutateFiles{Files: 48, MutateEvery: 5}, MakeFiles{}},
+			BenchStartHook: func(mp *sim.Proc, _ MeasurementInfo) {
+				plan.Start(mp, fsys)
+			},
+		}
 	case "lustre-writeback":
 		cfg := lustre.DefaultConfig()
 		cfg.Writeback = true
@@ -112,13 +137,15 @@ func runAndSave(t *testing.T, seed int64, mode string) map[string]string {
 // the Lustre write-back model (daemon flushers, queues, semaphore
 // windows exercise every scheduling primitive), the sharded MDS
 // model under both placement policies (broadcast replication, peer
-// pools, Zipf routing and cross-shard migrates), and the replicated
+// pools, Zipf routing and cross-shard migrates), the replicated
 // sharded model under fault injection (crash, timer-driven takeover,
-// retry backoff, restart recovery and failback).
+// retry backoff, restart recovery and failback), and the lease-coherent
+// client cache under fault injection (grants, revocation callbacks,
+// delegations, crash-time epoch invalidation).
 func TestRunnerDeterministic(t *testing.T) {
 	for _, mode := range []string{
 		"nfs-timed", "lustre-writeback", "shard-hash", "shard-subtree",
-		"shard-failover",
+		"shard-failover", "shard-coherent",
 	} {
 		t.Run(mode, func(t *testing.T) {
 			a := runAndSave(t, 77, mode)

@@ -367,8 +367,12 @@ func PluginByName(name string) (Plugin, error) {
 		return OpenCloseFiles{}, nil
 	case "ReadDirStatFiles":
 		return ReadDirStatFiles{}, nil
+	case "ReadDirPlusFiles":
+		return ReadDirPlusFiles{}, nil
 	case "RenameFiles":
 		return RenameFiles{}, nil
+	case "StatMutateFiles":
+		return StatMutateFiles{}, nil
 	case "ZipfDirFiles":
 		return ZipfDirFiles{}, nil
 	default:
@@ -579,6 +583,149 @@ func (ReadDirStatFiles) DoBench(c *Ctx) error {
 
 // Cleanup removes the files.
 func (ReadDirStatFiles) Cleanup(c *Ctx) error { return cleanupFiles(c) }
+
+// StatMutateFiles is the cache-coherence stress load of E22–E24: every
+// process stats a pool of files shared by all ranks, and every
+// MutateEvery-th operation rewrites one pool file instead. On a
+// coherent client cache each rewrite revokes the other nodes' leases on
+// that file; on an NFS-style timeout cache it silently stales them —
+// exactly the contrast the coherence experiments measure. Draw
+// sequences are seeded per rank, so identically-configured runs replay
+// identical workloads.
+type StatMutateFiles struct {
+	// Files is the shared pool size (default 200).
+	Files int
+	// MutateEvery issues one rewrite per this many operations when
+	// positive; zero or negative disables mutations (a pure stat load),
+	// like ZipfDirFiles.MkdirEvery.
+	MutateEvery int
+	// Skew draws pool files Zipf(Skew)-distributed when > 1 (hot files
+	// are both the most cached and the most mutated), uniformly
+	// otherwise.
+	Skew float64
+}
+
+// Name implements Plugin.
+func (StatMutateFiles) Name() string { return "StatMutateFiles" }
+
+func (s StatMutateFiles) files() int {
+	if s.Files > 0 {
+		return s.Files
+	}
+	return 200
+}
+
+// hotDir returns the shared pool directory.
+func hotDir(c *Ctx) string {
+	if c.Params.WorkDir == "/" {
+		return "/hot"
+	}
+	return c.Params.WorkDir + "/hot"
+}
+
+// hotFileName returns "<dir>/f<id>".
+func hotFileName(dir string, id int) string {
+	b := make([]byte, 0, len(dir)+16)
+	b = append(b, dir...)
+	b = append(b, "/f"...)
+	b = strconv.AppendInt(b, int64(id), 10)
+	return string(b)
+}
+
+// Prepare creates this rank's partition of the shared pool.
+func (s StatMutateFiles) Prepare(c *Ctx) error {
+	dir := hotDir(c)
+	if err := MkdirAll(c.FS, dir); err != nil {
+		return err
+	}
+	for i := c.Rank; i < s.files(); i += c.Workers {
+		if err := c.FS.Create(hotFileName(dir, i)); err != nil && !fs.IsExist(err) {
+			return err
+		}
+	}
+	return nil
+}
+
+// DoBench stats (and periodically rewrites) randomly drawn pool files.
+func (s StatMutateFiles) DoBench(c *Ctx) error {
+	rng := rand.New(rand.NewSource(int64(8800 + c.Rank)))
+	files, me := s.files(), s.MutateEvery
+	var zipf *rand.Zipf
+	if s.Skew > 1 {
+		zipf = rand.NewZipf(rng, s.Skew, 1, uint64(files-1))
+	}
+	dir := hotDir(c)
+	for i := 0; i < c.Params.ProblemSize; i++ {
+		if c.Deadline > 0 && c.Expired() {
+			return nil
+		}
+		id := 0
+		if zipf != nil {
+			id = int(zipf.Uint64())
+		} else {
+			id = rng.Intn(files)
+		}
+		name := hotFileName(dir, id)
+		if me > 0 && (i+1)%me == 0 {
+			h, err := c.FS.Open(name)
+			if err != nil {
+				return err
+			}
+			if err := c.FS.Write(h, 128); err != nil {
+				return err
+			}
+			if err := c.FS.Close(h); err != nil {
+				return err
+			}
+		} else if _, err := c.FS.Stat(name); err != nil {
+			return err
+		}
+		c.Tick()
+	}
+	return nil
+}
+
+// Cleanup removes this rank's partition of the pool (the shared
+// directory itself stays, like MakeOnedirFiles).
+func (s StatMutateFiles) Cleanup(c *Ctx) error {
+	dir := hotDir(c)
+	for i := c.Rank; i < s.files(); i += c.Workers {
+		if err := c.FS.Unlink(hotFileName(dir, i)); err != nil && !fs.IsNotExist(err) {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadDirPlusFiles is ReadDirStatFiles on the batched lookup path: one
+// readdirplus request returns the listing with every entry's attributes
+// (fs.ReadDirPlusser, with a readdir+stat fallback for file systems
+// without the protocol); one tick per scanned entry.
+type ReadDirPlusFiles struct{}
+
+// Name implements Plugin.
+func (ReadDirPlusFiles) Name() string { return "ReadDirPlusFiles" }
+
+// Prepare creates the test files.
+func (ReadDirPlusFiles) Prepare(c *Ctx) error { return prepareFiles(c) }
+
+// DoBench scans the directory with attributes in one batch.
+func (ReadDirPlusFiles) DoBench(c *Ctx) error {
+	ents, attrs, err := fs.ReadDirPlus(c.FS, c.Dir)
+	if err != nil {
+		return err
+	}
+	for i := range ents {
+		if attrs[i].Ino != ents[i].Ino {
+			return fs.NewError("readdirplus", c.Dir, fs.EINVAL)
+		}
+		c.Tick()
+	}
+	return nil
+}
+
+// Cleanup removes the files.
+func (ReadDirPlusFiles) Cleanup(c *Ctx) error { return cleanupFiles(c) }
 
 // RenameFiles measures the atomic-rename path applications depend on for
 // transactional updates (§2.6.3).

@@ -52,7 +52,8 @@ func TestEveryPluginRoundTrips(t *testing.T) {
 	names := []string{
 		"MakeFiles", "MakeFiles64byte", "MakeFiles65byte", "MakeOnedirFiles",
 		"MakeDirs", "DeleteFiles", "StatFiles", "StatNocacheFiles",
-		"StatMultinodeFiles", "OpenCloseFiles", "ReadDirStatFiles", "RenameFiles",
+		"StatMultinodeFiles", "OpenCloseFiles", "ReadDirStatFiles",
+		"ReadDirPlusFiles", "RenameFiles", "StatMutateFiles",
 	}
 	for _, name := range names {
 		name := name

@@ -1,0 +1,302 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"dmetabench/internal/charts"
+	"dmetabench/internal/cluster"
+	"dmetabench/internal/core"
+	"dmetabench/internal/fault"
+	"dmetabench/internal/results"
+	"dmetabench/internal/shard"
+	"dmetabench/internal/sim"
+)
+
+// The E22–E24 family measures client metadata cache coherence on the
+// sharded MDS (internal/shard coherence.go, internal/clientcache
+// LeaseCache). The thesis shows client-side caching dominating
+// perceived metadata performance and contrasts NFS attribute timeouts
+// with AFS-style callbacks (§2.1.2, §4.7.3); MetaFlow and HopsFS show
+// that scaling metadata past one server only pays when clients cache
+// aggressively under explicit invalidation. E22 sweeps the lease TTL
+// (hit rate vs. revocation traffic under Zipf skew), E23 races the
+// coherent cache against timeout and uncached clients across shard
+// counts, and E24 puts a cached load through PR 3's failover with and
+// without crash-time lease invalidation.
+
+// e22Load is the shared coherence stress load: a pool of files every
+// rank stats (Zipf-hot) and periodically rewrites. The pool is wide
+// enough that a mid-popularity file's per-node revisit interval spans
+// the E22 TTL sweep: hot files stay lease-covered at any TTL, cold
+// files need a long one.
+func e22Load(skew float64) core.StatMutateFiles {
+	return core.StatMutateFiles{Files: 640, MutateEvery: 16, Skew: skew}
+}
+
+// runCoherence executes a fixed-size StatMutateFiles run on an 8-node x
+// 2-process cluster and returns the result set plus the FS for counter
+// readout.
+func runCoherence(seed int64, cfg shard.Config, plugin core.Plugin, problem int) (*results.Set, *shard.FS) {
+	k := sim.New(seed)
+	cl := cluster.New(k, cluster.DefaultConfig(8))
+	fsys := shard.New(k, "meta", cfg)
+	r := &core.Runner{
+		Cluster:      cl,
+		FS:           fsys,
+		Params:       core.Params{ProblemSize: problem, WorkDir: "/bench"},
+		SlotsPerNode: 2,
+		Plugins:      []core.Plugin{plugin},
+		Filter:       func(c core.Combo) bool { return c.Nodes == 8 && c.PPN == 2 },
+	}
+	set, err := r.Run()
+	if err != nil {
+		return nil, fsys
+	}
+	return set, fsys
+}
+
+// hitRate returns hits/(hits+misses) as a percentage.
+func hitRate(hits, misses int64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return 100 * float64(hits) / float64(hits+misses)
+}
+
+// E22LeaseTTL sweeps the lease TTL under a Zipf-skewed stat+mutate
+// load: longer leases convert expiry misses into hits, and what they
+// cost is revocation callbacks — every rewrite must chase down more
+// live holders — while staleness stays at zero, because a coherent hit
+// is revoked before the mutation returns.
+func E22LeaseTTL() *Report {
+	r := &Report{ID: "E22", Title: "Lease TTL sweep: hit rate vs. revocation traffic",
+		PaperRef: "beyond §2.1.2 (callback coherence; MetaFlow/HopsFS direction)"}
+	plugin := e22Load(1.8)
+	var xs, ys []float64
+	var firstHit, lastHit, firstRev, lastRev float64
+	for _, ttl := range []time.Duration{25 * time.Millisecond, 100 * time.Millisecond,
+		500 * time.Millisecond, 4 * time.Second} {
+		cfg := shard.DefaultConfig(4)
+		cfg.CacheMode = shard.CacheLease
+		cfg.LeaseTTL = ttl
+		cfg.TrackStaleness = true
+		set, fsys := runCoherence(2200, cfg, plugin, 8000)
+		if set == nil {
+			r.finding("run failed at TTL %v", ttl)
+			return r
+		}
+		r.Sets = append(r.Sets, set)
+		hits, misses, _, _ := fsys.CacheStats()
+		hr := hitRate(hits, misses)
+		rate := wallOf(set, plugin.Name(), 8, 2)
+		xs = append(xs, ttl.Seconds())
+		ys = append(ys, hr)
+		if len(xs) == 1 {
+			firstHit, firstRev = hr, float64(fsys.Revocations)
+		}
+		lastHit, lastRev = hr, float64(fsys.Revocations)
+		r.row(fmt.Sprintf("lease %5s: hit rate", ttl), hr, "%",
+			fmt.Sprintf("%.0f stats/s", rate))
+		r.row(fmt.Sprintf("lease %5s: revocations", ttl), float64(fsys.Revocations), "",
+			fmt.Sprintf("%d grants, %d stale reads", fsys.LeaseGrants, fsys.StaleReads))
+	}
+	r.finding("the lease TTL buys hit rate with revocation traffic: %.0f%% -> %.0f%% "+
+		"hits from 25ms to 4s leases while callbacks grow %.0f -> %.0f (longer "+
+		"leases leave more live holders for every mutation to chase down), and "+
+		"stale reads stay at zero at every point — the coherence invariant the "+
+		"timeout cache of E23 cannot offer at any TTL",
+		firstHit, lastHit, firstRev, lastRev)
+	r.Charts = append(r.Charts, charts.Render(
+		"Cache hit rate vs. lease TTL (Zipf 1.8 stat+mutate, 4 shards)",
+		"lease s", "hit %", chartW, chartH,
+		[]charts.Series{{Name: "coherent hits", X: xs, Y: ys}}))
+	return r
+}
+
+// E23CacheModes races the three client cache modes across shard counts
+// on the shared stat+mutate load, then pins the hit-rate/staleness
+// trade-off at 4 shards. The timeout cache can only reach the coherent
+// cache's hit rate by serving stale attributes, and can only reach its
+// freshness by shrinking the TTL to nothing — at which point it is no
+// cache at all. Adding shards, meanwhile, barely moves a stat-heavy
+// load: request latency and client caching dominate, not server count
+// (the §4.6 lesson resurfacing at MDS scale).
+func E23CacheModes() *Report {
+	r := &Report{ID: "E23", Title: "Coherent vs. timeout vs. no client cache across shard counts",
+		PaperRef: "beyond §4.7.3 (AFS callbacks vs. NFS timeouts, per shard count)"}
+	plugin := e22Load(1.8)
+	type cell struct {
+		rate, hit float64
+		stale     int64
+	}
+	measure := func(n int, mode shard.CacheMode, attrTTL time.Duration, seed int64) cell {
+		cfg := shard.DefaultConfig(n)
+		cfg.CacheMode = mode
+		cfg.TrackStaleness = true
+		if attrTTL > 0 {
+			cfg.AttrTTL = attrTTL
+		}
+		if mode == shard.CacheLease {
+			cfg.LeaseTTL = 30 * time.Second
+		}
+		set, fsys := runCoherence(seed, cfg, plugin, 2000)
+		if set == nil {
+			return cell{}
+		}
+		r.Sets = append(r.Sets, set)
+		hits, misses, _, _ := fsys.CacheStats()
+		return cell{
+			rate:  wallOf(set, plugin.Name(), 8, 2),
+			hit:   hitRate(hits, misses),
+			stale: fsys.StaleReads,
+		}
+	}
+	shardCounts := []int{1, 2, 4, 8}
+	var xs, leaseY, ttlY, noneY []float64
+	var lease4, ttl4 cell
+	for i, n := range shardCounts {
+		seed := int64(2300 + 10*i)
+		lease := measure(n, shard.CacheLease, 0, seed)
+		ttl := measure(n, shard.CacheTTL, 0, seed+1)
+		none := measure(n, shard.CacheNone, 0, seed+2)
+		if lease.rate == 0 || ttl.rate == 0 || none.rate == 0 {
+			r.finding("run failed at %d shards", n)
+			return r
+		}
+		xs = append(xs, float64(n))
+		leaseY = append(leaseY, lease.rate)
+		ttlY = append(ttlY, ttl.rate)
+		noneY = append(noneY, none.rate)
+		r.row(fmt.Sprintf("stats/s @ %d shards, lease 30s", n), lease.rate, "ops/s",
+			fmt.Sprintf("%.0f%% hits, %d stale", lease.hit, lease.stale))
+		r.row(fmt.Sprintf("stats/s @ %d shards, ttl 3s", n), ttl.rate, "ops/s",
+			fmt.Sprintf("%.0f%% hits, %d stale", ttl.hit, ttl.stale))
+		r.row(fmt.Sprintf("stats/s @ %d shards, no cache", n), none.rate, "ops/s", "")
+		if n == 4 {
+			lease4, ttl4 = lease, ttl
+		}
+	}
+	// The trade-off pinned at 4 shards: a TTL matched to the hot files'
+	// ~2ms mutation interval reaches the coherent cache's hit rate and
+	// still serves stale hits, because hot files are revisited faster
+	// than they are mutated.
+	matched := measure(4, shard.CacheTTL, 2*time.Millisecond, 2340)
+	if matched.rate == 0 {
+		r.finding("run failed for the hit-rate-matched TTL cell")
+		return r
+	}
+	r.row("4 shards: lease 30s hit rate", lease4.hit, "%",
+		fmt.Sprintf("%d stale reads", lease4.stale))
+	r.row("4 shards: ttl 3s hit rate", ttl4.hit, "%",
+		fmt.Sprintf("%d stale reads", ttl4.stale))
+	r.row("4 shards: ttl 2ms hit rate", matched.hit, "%",
+		fmt.Sprintf("%d stale reads (hit-rate-matched TTL)", matched.stale))
+	r.finding("the timeout cache cannot buy freshness with its TTL on a write-shared "+
+		"load: at the 3s NFS default it tops the hit rate (%.0f%%) by serving %d "+
+		"stale hits, and even shrunk to the ~2ms hot-file mutation interval it "+
+		"matches the coherent hit rate (%.0f%% vs %.0f%%) while still serving %d "+
+		"stale reads — at equal (zero) staleness its only configuration is no cache "+
+		"at all, 0%% hits against the coherent cache's %.0f%%",
+		ttl4.hit, ttl4.stale, matched.hit, lease4.hit, matched.stale, lease4.hit)
+	r.Charts = append(r.Charts, charts.Render(
+		"Stat+mutate throughput vs. shard count by cache mode",
+		"shards", "ops/s", chartW, chartH,
+		[]charts.Series{
+			{Name: "lease 30s", X: xs, Y: leaseY},
+			{Name: "ttl 3s", X: xs, Y: ttlY},
+			{Name: "no cache", X: xs, Y: noneY},
+		}))
+	return r
+}
+
+// E24FailoverCachedLoad puts a lease-cached stat+mutate load through
+// PR 3's crash/takeover path. The promoted backup knows nothing about
+// the dead primary's leases, so it cannot revoke them: without
+// crash-time invalidation every mutation it applies leaves stale
+// client hits behind until the leases expire on their own. Epoch-based
+// bulk invalidation (Config.CrashInvalidate) closes that window to the
+// takeover itself.
+func E24FailoverCachedLoad() *Report {
+	r := &Report{ID: "E24", Title: "Failover under cached load: the stale-read window",
+		PaperRef: "beyond §4.2 + §2.1.2 (cache coherence across failover)"}
+	const (
+		window    = 16 * time.Second
+		crashAt   = 6 * time.Second
+		restartAt = 13 * time.Second
+	)
+	plan := (&fault.Plan{}).Outage(crashAt, restartAt, 0)
+	if err := plan.Validate(); err != nil {
+		r.finding("bad plan: %v", err)
+		return r
+	}
+	run := func(seed int64, invalidate bool) (*results.Measurement, *results.Set, *shard.FS) {
+		cfg := shard.DefaultConfig(2)
+		cfg.Replicate = true
+		cfg.CacheMode = shard.CacheLease
+		cfg.LeaseTTL = 8 * time.Second
+		cfg.TrackStaleness = true
+		cfg.CrashInvalidate = invalidate
+		k := sim.New(seed)
+		cl := cluster.New(k, cluster.DefaultConfig(8))
+		fsys := shard.New(k, "meta", cfg)
+		rn := &core.Runner{
+			Cluster: cl,
+			FS:      fsys,
+			Params: core.Params{ProblemSize: 1 << 20, TimeLimit: window,
+				WorkDir: "/bench"},
+			SlotsPerNode: 2,
+			Plugins:      []core.Plugin{e22Load(0)},
+			Filter:       func(c core.Combo) bool { return c.Nodes == 8 && c.PPN == 2 },
+			BenchStartHook: func(mp *sim.Proc, _ core.MeasurementInfo) {
+				plan.Start(mp, fsys)
+			},
+		}
+		set, err := rn.Run()
+		if err != nil {
+			return nil, nil, fsys
+		}
+		return set.Find("StatMutateFiles", 8, 2), set, fsys
+	}
+	inval, iset, ifs := run(2400, true)
+	stale, sset, sfs := run(2401, false)
+	if inval == nil || stale == nil || len(ifs.Takeovers) == 0 || len(sfs.Takeovers) == 0 {
+		r.finding("run failed")
+		return r
+	}
+	r.Sets = append(r.Sets, iset, sset)
+	staleWindow := func(f *shard.FS) time.Duration {
+		w := f.LastStaleAt - f.Takeovers[0].CrashAt
+		if f.StaleReads == 0 || w < 0 {
+			return 0
+		}
+		return w
+	}
+	_, _, _, epochDrops := ifs.CacheStats()
+	r.row("invalidate: takeover latency", ifs.Takeovers[0].Total().Seconds()*1000, "ms",
+		fmt.Sprintf("detect + %d entries replayed", ifs.Takeovers[0].Entries))
+	r.row("invalidate: stale reads", float64(ifs.StaleReads), "", "epoch check on every hit")
+	r.row("invalidate: stale-read window", staleWindow(ifs).Seconds(), "s", "")
+	r.row("invalidate: leases bulk-dropped", float64(epochDrops), "", "epoch moves observed by clients")
+	r.row("no invalidate: takeover latency", sfs.Takeovers[0].Total().Seconds()*1000, "ms", "")
+	r.row("no invalidate: stale reads", float64(sfs.StaleReads), "",
+		"no serving change can revoke its predecessor's leases")
+	r.row("no invalidate: stale-read window", staleWindow(sfs).Seconds(), "s",
+		fmt.Sprintf("takeover and failback each leak up to the %s lease TTL", 8*time.Second))
+	r.finding("failover without lease invalidation leaks staleness: neither the "+
+		"promoted backup (crash at 6s) nor the restarted primary (failback at 13s) "+
+		"can revoke leases its predecessor granted, so mutations they serve leave "+
+		"clients trusting dead leases — a %.1fs stale window, %d stale reads, each "+
+		"leak bounded only by the 8s lease TTL. Crash-time epoch invalidation "+
+		"shrinks the window to %.1fs (%d stale reads) at the same %.0fms takeover "+
+		"latency",
+		staleWindow(sfs).Seconds(), sfs.StaleReads,
+		staleWindow(ifs).Seconds(), ifs.StaleReads,
+		ifs.Takeovers[0].Total().Seconds()*1000)
+	r.Charts = append(r.Charts,
+		"lease cache + crash-time invalidation, crash at 6s, restart at 13s\n"+
+			charts.TimeChart(inval, chartW, chartH),
+		"lease cache without invalidation, same fault plan\n"+
+			charts.TimeChart(stale, chartW, chartH))
+	return r
+}

@@ -104,6 +104,9 @@ func All() []Experiment {
 		{"E19", E19FailoverTimeline},
 		{"E20", E20ReplicationOverhead},
 		{"E21", E21RecoveryScaling},
+		{"E22", E22LeaseTTL},
+		{"E23", E23CacheModes},
+		{"E24", E24FailoverCachedLoad},
 	}
 }
 

@@ -200,6 +200,50 @@ type Client interface {
 	DropCaches()
 }
 
+// ReadDirPlusser is an optional Client capability: ReadDirPlus lists a
+// directory and returns each entry's attributes from the same request —
+// the NFSv3 READDIRPLUS / batched-lookup idiom that turns the "ls -l"
+// scan of §2.8.3 from one RPC per entry into one RPC per directory,
+// filling the client caches as a side effect. attrs[i] describes
+// entries[i].
+type ReadDirPlusser interface {
+	ReadDirPlus(path string) (entries []DirEntry, attrs []Attr, err error)
+}
+
+// ReadDirPlus lists path with attributes through c's batched protocol
+// when it has one, and otherwise via StatEntries — same result,
+// per-entry cost.
+func ReadDirPlus(c Client, path string) ([]DirEntry, []Attr, error) {
+	if rp, ok := c.(ReadDirPlusser); ok {
+		return rp.ReadDirPlus(path)
+	}
+	return StatEntries(c, path)
+}
+
+// StatEntries is the unbatched readdirplus: ReadDir followed by one
+// Stat per entry. Clients that do implement the batched protocol use it
+// for directories the protocol cannot serve in one request (a root
+// spanning every shard of a partitioned namespace).
+func StatEntries(c Client, path string) ([]DirEntry, []Attr, error) {
+	ents, err := c.ReadDir(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	attrs := make([]Attr, len(ents))
+	prefix := path
+	if prefix != "/" {
+		prefix += "/"
+	}
+	for i, e := range ents {
+		a, serr := c.Stat(prefix + e.Name)
+		if serr != nil {
+			return nil, nil, serr
+		}
+		attrs[i] = a
+	}
+	return ents, attrs, nil
+}
+
 // OpKind enumerates client operations for tracing and accounting.
 type OpKind int
 

@@ -1,0 +1,406 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dmetabench/internal/cluster"
+	"dmetabench/internal/fs"
+	"dmetabench/internal/sim"
+)
+
+// leaseCfg returns a lease-coherent n-shard config with staleness
+// tracking on.
+func leaseCfg(n int) Config {
+	cfg := DefaultConfig(n)
+	cfg.CacheMode = CacheLease
+	cfg.TrackStaleness = true
+	return cfg
+}
+
+// twoNodes builds a kernel, a two-node cluster and a sharded FS.
+func twoNodes(cfg Config) (*sim.Kernel, *cluster.Cluster, *FS) {
+	k := sim.New(42)
+	cl := cluster.New(k, cluster.DefaultConfig(2))
+	return k, cl, New(k, "coh", cfg)
+}
+
+func TestLeaseRevocationOnRemoteMutation(t *testing.T) {
+	// Node 0 leases a file's attributes; node 1 writes it. The write
+	// must deliver a revocation callback before returning, so node 0's
+	// next stat refetches and never serves the stale size.
+	k, cl, f := twoNodes(leaseCfg(4))
+	k.Spawn("t", func(p *sim.Proc) {
+		a := f.NewClient(cl.Nodes[0], p)
+		b := f.NewClient(cl.Nodes[1], p)
+		if err := a.Mkdir("/d"); err != nil {
+			t.Fatalf("mkdir: %v", err)
+		}
+		if err := a.Create("/d/f"); err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		if _, err := a.Stat("/d/f"); err != nil { // take the lease
+			t.Fatalf("stat: %v", err)
+		}
+		hitsBefore, _, _, _ := f.CacheStats()
+		if at, err := a.Stat("/d/f"); err != nil || at.Size != 0 {
+			t.Fatalf("cached stat: %v size=%d", err, at.Size)
+		}
+		if hits, _, _, _ := f.CacheStats(); hits != hitsBefore+1 {
+			t.Fatal("second stat did not hit the lease cache")
+		}
+		h, err := b.Open("/d/f")
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		b.Write(h, 4096)
+		if err := b.Close(h); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		if f.Revocations == 0 {
+			t.Fatal("remote write delivered no revocation callback")
+		}
+		at, err := a.Stat("/d/f")
+		if err != nil {
+			t.Fatalf("stat after revoke: %v", err)
+		}
+		if at.Size != 4096 {
+			t.Fatalf("stale size %d served after revocation", at.Size)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if f.StaleReads != 0 {
+		t.Fatalf("coherent cache served %d stale reads", f.StaleReads)
+	}
+}
+
+func TestTTLCacheServesStaleWhereLeaseDoesNot(t *testing.T) {
+	// The same two-node sequence on the TTL cache: node 0's cached size
+	// survives node 1's write until the timeout — the §2.1.2 staleness
+	// the lease protocol exists to eliminate.
+	cfg := DefaultConfig(4)
+	cfg.TrackStaleness = true
+	k, cl, f := twoNodes(cfg)
+	k.Spawn("t", func(p *sim.Proc) {
+		a := f.NewClient(cl.Nodes[0], p)
+		b := f.NewClient(cl.Nodes[1], p)
+		a.Mkdir("/d")
+		a.Create("/d/f")
+		if _, err := a.Stat("/d/f"); err != nil {
+			t.Fatalf("stat: %v", err)
+		}
+		h, _ := b.Open("/d/f")
+		b.Write(h, 4096)
+		b.Close(h)
+		at, err := a.Stat("/d/f")
+		if err != nil {
+			t.Fatalf("stat: %v", err)
+		}
+		if at.Size != 0 {
+			t.Fatalf("TTL cache refetched (size %d); expected the stale 0", at.Size)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if f.StaleReads == 0 {
+		t.Fatal("staleness tracking missed the stale TTL hit")
+	}
+}
+
+func TestDirectoryDelegationSkipsSoleWriterRevocations(t *testing.T) {
+	// A single writer creating many files in one directory holds the
+	// write delegation: no revocation traffic at all. A second writer
+	// forces exactly one recall.
+	k, cl, f := twoNodes(leaseCfg(4))
+	k.Spawn("t", func(p *sim.Proc) {
+		a := f.NewClient(cl.Nodes[0], p)
+		b := f.NewClient(cl.Nodes[1], p)
+		if err := a.Mkdir("/d"); err != nil {
+			t.Fatalf("mkdir: %v", err)
+		}
+		for i := 0; i < 20; i++ {
+			if err := a.Create(fmt.Sprintf("/d/f%d", i)); err != nil {
+				t.Fatalf("create: %v", err)
+			}
+		}
+		if f.DelegationGrants == 0 {
+			t.Fatal("sole writer was not granted a delegation")
+		}
+		if f.Revocations != 0 {
+			t.Fatalf("sole writer paid %d revocations", f.Revocations)
+		}
+		recallsBefore := f.DelegationRecalls
+		if err := b.Create("/d/other"); err != nil {
+			t.Fatalf("second writer create: %v", err)
+		}
+		if f.DelegationRecalls != recallsBefore+1 {
+			t.Fatalf("second writer triggered %d recalls, want 1",
+				f.DelegationRecalls-recallsBefore)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRmdirDropsDelegation(t *testing.T) {
+	// Removing a directory kills its write delegation with it: after a
+	// recreate, the new incarnation's first writer must not pay a
+	// recall against the dead delegation, and the old holder must not
+	// silently resume covered write-back.
+	k, cl, f := twoNodes(leaseCfg(4))
+	k.Spawn("t", func(p *sim.Proc) {
+		a := f.NewClient(cl.Nodes[0], p)
+		b := f.NewClient(cl.Nodes[1], p)
+		if err := a.Mkdir("/d"); err != nil {
+			t.Fatalf("mkdir: %v", err)
+		}
+		if err := a.Create("/d/f"); err != nil { // a holds the delegation
+			t.Fatalf("create: %v", err)
+		}
+		if f.DelegationGrants == 0 {
+			t.Fatal("no delegation granted")
+		}
+		if err := a.Unlink("/d/f"); err != nil {
+			t.Fatalf("unlink: %v", err)
+		}
+		if err := a.Rmdir("/d"); err != nil {
+			t.Fatalf("rmdir: %v", err)
+		}
+		if err := b.Mkdir("/d"); err != nil { // a fresh incarnation
+			t.Fatalf("re-mkdir: %v", err)
+		}
+		recallsBefore := f.DelegationRecalls
+		if err := b.Create("/d/g"); err != nil {
+			t.Fatalf("create in recreated dir: %v", err)
+		}
+		if f.DelegationRecalls != recallsBefore {
+			t.Fatalf("first writer of a recreated directory paid %d recalls "+
+				"against the dead delegation", f.DelegationRecalls-recallsBefore)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirRenameRevokesDescendantLeases(t *testing.T) {
+	// Renaming a directory (allowed under subtree placement) moves every
+	// descendant: leases keyed by the old paths must die with it, or a
+	// holder would keep serving attributes for names that no longer
+	// exist.
+	cfg := leaseCfg(4)
+	cfg.Placement = PlaceSubtree
+	cfg.SubtreeAssign = map[string]int{"vol": 1}
+	k, cl, f := twoNodes(cfg)
+	k.Spawn("t", func(p *sim.Proc) {
+		a := f.NewClient(cl.Nodes[0], p)
+		b := f.NewClient(cl.Nodes[1], p)
+		if err := b.Mkdir("/vol"); err != nil {
+			t.Fatalf("mkdir: %v", err)
+		}
+		if err := b.Mkdir("/vol/a"); err != nil {
+			t.Fatalf("mkdir a: %v", err)
+		}
+		if err := b.Create("/vol/a/f"); err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		if _, err := a.Stat("/vol/a/f"); err != nil { // lease on the old path
+			t.Fatalf("stat: %v", err)
+		}
+		if err := b.Rename("/vol/a", "/vol/b"); err != nil {
+			t.Fatalf("dir rename: %v", err)
+		}
+		if _, err := a.Stat("/vol/a/f"); !fs.IsNotExist(err) {
+			t.Fatalf("stat of moved-away path: got %v, want ENOENT", err)
+		}
+		if at, err := a.Stat("/vol/b/f"); err != nil || at.Ino == 0 {
+			t.Fatalf("stat of new path: %v", err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if f.StaleReads != 0 {
+		t.Fatalf("dir rename left %d stale coherent reads", f.StaleReads)
+	}
+}
+
+func TestReadDirPlusFillsCaches(t *testing.T) {
+	// One readdirplus RPC returns every entry's attributes and leaves
+	// the client able to stat each entry without further RPCs.
+	k, cl, f := twoNodes(leaseCfg(4))
+	k.Spawn("t", func(p *sim.Proc) {
+		c := f.NewClient(cl.Nodes[0], p)
+		if err := c.Mkdir("/d"); err != nil {
+			t.Fatalf("mkdir: %v", err)
+		}
+		for i := 0; i < 8; i++ {
+			if err := c.Create(fmt.Sprintf("/d/f%d", i)); err != nil {
+				t.Fatalf("create: %v", err)
+			}
+		}
+		c.DropCaches()
+		ents, attrs, err := fs.ReadDirPlus(c, "/d")
+		if err != nil {
+			t.Fatalf("readdirplus: %v", err)
+		}
+		if len(ents) != 8 || len(attrs) != 8 {
+			t.Fatalf("got %d entries, %d attrs", len(ents), len(attrs))
+		}
+		for i, e := range ents {
+			if attrs[i].Ino != e.Ino {
+				t.Fatalf("attrs[%d] does not describe entries[%d]", i, i)
+			}
+		}
+		rpcsBefore := f.RPCCount()
+		for i := 0; i < 8; i++ {
+			if _, err := c.Stat(fmt.Sprintf("/d/f%d", i)); err != nil {
+				t.Fatalf("stat: %v", err)
+			}
+		}
+		if f.RPCCount() != rpcsBefore {
+			t.Fatalf("stats after readdirplus issued %d RPCs, want 0",
+				f.RPCCount()-rpcsBefore)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// failoverStaleRun runs the E24 micro-scenario: node 0 leases a file on
+// the slice about to crash, the slice fails over to its backup, node 1
+// writes the file through the backup, and node 0 stats it again. It
+// returns the size node 0 observed and the stale-read count.
+func failoverStaleRun(t *testing.T, crashInvalidate bool) (int64, int64) {
+	t.Helper()
+	cfg := leaseCfg(2)
+	cfg.Replicate = true
+	cfg.CrashInvalidate = crashInvalidate
+	cfg.TakeoverDetect = 50 * time.Millisecond
+	cfg.LeaseTTL = time.Hour // only invalidation can end the lease here
+	k := sim.New(7)
+	cl := cluster.New(k, cluster.DefaultConfig(2))
+	f := New(k, "fo", cfg)
+	// A directory whose entries live on slice 0.
+	dir := ""
+	for i := 0; i < 64; i++ {
+		cand := fmt.Sprintf("/d%d", i)
+		if f.ShardOfDir(cand) == 0 {
+			dir = cand
+			break
+		}
+	}
+	if dir == "" {
+		t.Fatal("no slice-0 directory found")
+	}
+	file := dir + "/f"
+	var size int64 = -1
+	k.Spawn("t", func(p *sim.Proc) {
+		a := f.NewClient(cl.Nodes[0], p)
+		b := f.NewClient(cl.Nodes[1], p)
+		if err := a.Mkdir(dir); err != nil {
+			t.Errorf("mkdir: %v", err)
+			return
+		}
+		if err := a.Create(file); err != nil {
+			t.Errorf("create: %v", err)
+			return
+		}
+		if _, err := a.Stat(file); err != nil { // lease from the primary
+			t.Errorf("stat: %v", err)
+			return
+		}
+		f.Crash(p, 0)
+		p.Sleep(200 * time.Millisecond) // past detection + replay
+		if len(f.Takeovers) != 1 {
+			t.Error("no takeover happened")
+			return
+		}
+		h, err := b.Open(file) // served by the promoted backup
+		if err != nil {
+			t.Errorf("open via backup: %v", err)
+			return
+		}
+		b.Write(h, 512)
+		if err := b.Close(h); err != nil {
+			t.Errorf("close via backup: %v", err)
+			return
+		}
+		at, err := a.Stat(file)
+		if err != nil {
+			t.Errorf("stat after failover: %v", err)
+			return
+		}
+		size = at.Size
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return size, f.StaleReads
+}
+
+func TestFailoverLeaseInvalidation(t *testing.T) {
+	// With crash-time invalidation the epoch bump kills node 0's lease
+	// at takeover: the post-failover stat refetches the true size. With
+	// it off, the promoted backup cannot revoke the dead primary's
+	// leases, and node 0 serves the stale size — PR 3's failover would
+	// silently leak stale reads without the epoch mechanism.
+	size, stale := failoverStaleRun(t, true)
+	if size != 512 {
+		t.Fatalf("with invalidation: observed size %d, want 512", size)
+	}
+	if stale != 0 {
+		t.Fatalf("with invalidation: %d stale reads, want 0", stale)
+	}
+	size, stale = failoverStaleRun(t, false)
+	if size != 0 {
+		t.Fatalf("without invalidation: observed size %d, want the stale 0", size)
+	}
+	if stale == 0 {
+		t.Fatal("without invalidation: stale read not counted")
+	}
+}
+
+func TestCoherentCountersDeterministic(t *testing.T) {
+	run := func() [6]int64 {
+		cfg := leaseCfg(4)
+		k := sim.New(99)
+		cl := cluster.New(k, cluster.DefaultConfig(4))
+		f := New(k, "det", cfg)
+		for r := 0; r < 4; r++ {
+			r := r
+			node := cl.Nodes[r]
+			k.Spawn(fmt.Sprintf("w%d", r), func(p *sim.Proc) {
+				c := f.NewClient(node, p)
+				c.Mkdir("/shared")
+				for i := 0; i < 40; i++ {
+					name := fmt.Sprintf("/shared/f%d", i%8)
+					if i%5 == 0 {
+						if err := c.Create(name); err != nil && !fs.IsExist(err) {
+							t.Errorf("create: %v", err)
+						}
+					} else {
+						c.Stat(name)
+					}
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		h, m, rv, ep := f.CacheStats()
+		_ = ep
+		return [6]int64{f.LeaseGrants, f.Revocations, f.DelegationGrants,
+			f.DelegationRecalls, h + m, rv}
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("identically-seeded coherent runs diverged: %v vs %v", a, b)
+	}
+}

@@ -32,6 +32,18 @@
 // timeouts and retry with deterministic exponential backoff, so an
 // outage appears in the §3.2.5 time-interval methodology as exactly what
 // it is: a throughput dip, a COV spike, and a recovery ramp.
+//
+// Client caching is coherence-aware (coherence.go, experiments
+// E22–E24): Config.CacheMode selects an NFS-style TTL attribute cache,
+// no attribute caching, or lease-based coherence — server-granted read
+// leases per path, revocation callbacks delivered over server→client
+// simnet connections before a conflicting mutation's RPC returns,
+// write-back directory delegations for a directory's sole writer, and a
+// batched readdirplus path (fs.ReadDirPlusser) that fills a client's
+// caches in one RPC. Every namespace slice carries a lease epoch; a
+// crash takeover or a failback bumps it and discards the slice's lease
+// tables, so with Config.CrashInvalidate the failover path cannot leak
+// stale reads beyond the takeover itself.
 package shard
 
 import (
@@ -140,6 +152,39 @@ type Config struct {
 	// gives up with ETIMEDOUT. It bounds the simulation when a slice
 	// stays dark (crashed primary, no backup, no restart scheduled).
 	RetryMax int
+
+	// CacheMode selects the client attribute-cache consistency model:
+	// NFS-style TTL (default), uncached, or lease-based coherence with
+	// revocation callbacks (coherence.go, E22–E24).
+	CacheMode CacheMode
+	// LeaseTTL is the validity of one server-granted read lease
+	// (CacheLease only).
+	LeaseTTL time.Duration
+	// CallbackService is the client-side handler cost of one revocation
+	// or recall callback.
+	CallbackService time.Duration
+	// ReaddirPlusPerEntry is the server-side cost of piggybacking one
+	// entry's attributes on a readdirplus reply — far below a full
+	// GETATTR round trip, which is the point of batching.
+	ReaddirPlusPerEntry time.Duration
+	// Delegations enables write-back directory delegations: the sole
+	// writer of a directory keeps its cached directory attributes
+	// current itself instead of paying revocations per mutation.
+	Delegations bool
+	// CrashInvalidate makes clients verify each lease's slice epoch on
+	// every cache hit, so a crash takeover (which bumps the epoch)
+	// bulk-invalidates the slice's leases instantly. Off, clients trust
+	// leases across failovers and serve stale reads until expiry — the
+	// window E24 measures.
+	CrashInvalidate bool
+	// TrackStaleness compares every cache hit against the authoritative
+	// slice state (bookkeeping only) and counts mismatches in
+	// FS.StaleReads — the staleness instrument of E22–E24.
+	TrackStaleness bool
+	// AttrCacheCap bounds each node's client cache entry counts — the
+	// attribute/lease cache and the dentry cache alike (0 = unbounded);
+	// eviction goes by expiry then insertion order.
+	AttrCacheCap int
 }
 
 // DefaultConfig returns an n-shard configuration with per-shard service
@@ -178,6 +223,12 @@ func DefaultConfig(n int) Config {
 		RetryBackoff:    50 * time.Millisecond,
 		RetryBackoffMax: time.Second,
 		RetryMax:        64,
+
+		LeaseTTL:            10 * time.Second,
+		CallbackService:     25 * time.Microsecond,
+		ReaddirPlusPerEntry: 2 * time.Microsecond,
+		Delegations:         true,
+		CrashInvalidate:     true,
 	}
 }
 
@@ -258,6 +309,25 @@ type FS struct {
 	RetryCount int64
 	// Takeovers records every backup promotion, in order.
 	Takeovers []Takeover
+
+	// Coherence state and counters (coherence.go, CacheLease mode):
+	// per-slice lease tables and epochs, plus the protocol traffic the
+	// E22–E24 experiments report.
+	leases []*sliceLeases
+	epochs []uint64
+	// LeaseGrants counts read leases granted (including refreshes and
+	// readdirplus bulk grants).
+	LeaseGrants int64
+	// Revocations counts lease-revocation callbacks delivered.
+	Revocations int64
+	// DelegationGrants and DelegationRecalls count directory write
+	// delegations handed out and recalled.
+	DelegationGrants, DelegationRecalls int64
+	// StaleReads counts cache hits that disagreed with the
+	// authoritative state (Config.TrackStaleness); LastStaleAt is the
+	// virtual time of the most recent one.
+	StaleReads  int64
+	LastStaleAt time.Duration
 }
 
 type connKey struct {
@@ -268,6 +338,11 @@ type connKey struct {
 type nodeState struct {
 	attrs    *clientcache.AttrCache
 	dentries *clientcache.DentryCache
+	// leases replaces attrs under CacheLease; cb and cbConn are the
+	// node's callback endpoint and the server→client path to it.
+	leases *clientcache.LeaseCache
+	cb     *simnet.Server
+	cbConn *simnet.Conn
 }
 
 // New creates a sharded metadata service on kernel k.
@@ -296,6 +371,8 @@ func New(k *sim.Kernel, name string, cfg Config) *FS {
 			up:    true,
 		})
 		f.serving = append(f.serving, i)
+		f.leases = append(f.leases, newSliceLeases())
+		f.epochs = append(f.epochs, 0)
 	}
 	return f
 }
@@ -379,6 +456,10 @@ func (f *FS) Crash(p *sim.Proc, i int) {
 			return // the primary recovered first, or the backup crashed mid-replay
 		}
 		f.serving[i] = b
+		// The promoted backup knows nothing about the leases the dead
+		// primary granted: the slice's lease state dies with it and the
+		// epoch moves on (crash-time bulk invalidation, E24).
+		f.invalidateSliceLeases(i)
 		f.Takeovers = append(f.Takeovers, Takeover{
 			Shard: i, Backup: b, CrashAt: crashAt,
 			Detect: f.cfg.TakeoverDetect, Replay: replay, Entries: entries,
@@ -402,6 +483,10 @@ func (f *FS) Restart(p *sim.Proc, i int) {
 		f.serving[i] = i
 		sh.journal = sh.journal[:0] // recovery checkpoints the journal
 		sh.checkpoints++
+		// Failback is another serving change the restarted primary has
+		// no lease state for; leases granted meanwhile (by the backup,
+		// or pre-crash by the primary itself) die with the epoch.
+		f.invalidateSliceLeases(i)
 	})
 }
 
@@ -493,8 +578,20 @@ func (f *FS) nodeState(n *cluster.Node) *nodeState {
 	s, ok := f.nodes[n]
 	if !ok {
 		s = &nodeState{
-			attrs:    clientcache.NewAttrCache(f.cfg.AttrTTL, f.k.Now),
 			dentries: clientcache.NewDentryCache(f.cfg.DentryTTL, f.k.Now),
+		}
+		s.dentries.Cap = f.cfg.AttrCacheCap
+		if f.cfg.CacheMode == CacheLease {
+			var epochOf func(int) uint64
+			if f.cfg.CrashInvalidate {
+				epochOf = func(slice int) uint64 { return f.epochs[slice] }
+			}
+			s.leases = clientcache.NewLeaseCache(f.k.Now, epochOf)
+			s.leases.Cap = f.cfg.AttrCacheCap
+			f.cbServer(s, n)
+		} else {
+			s.attrs = clientcache.NewAttrCache(f.cfg.AttrTTL, f.k.Now)
+			s.attrs.Cap = f.cfg.AttrCacheCap
 		}
 		f.nodes[n] = s
 	}
@@ -698,8 +795,7 @@ func (c *client) resolveParents(p string) error {
 			var a fs.Attr
 			a, err = state.ns.Stat(prefix)
 			if err == nil {
-				st.dentries.PutPositive(prefix, a.Ino)
-				st.attrs.Put(prefix, a)
+				c.fillEntry(sp, prefix, a)
 			} else {
 				st.dentries.PutNegative(prefix)
 			}
@@ -715,13 +811,24 @@ func (c *client) resolveParents(p string) error {
 }
 
 // cacheEntry refreshes the node caches for p from its owning slice's
-// namespace (client-side bookkeeping, no simulated cost).
+// namespace — the attributes every mutation reply piggybacks. Under
+// CacheLease the reply also carries the parent directory's post-op
+// attributes: the mutator writes its cached dir attributes back in
+// place (the delegation discipline) instead of refetching them.
 func (c *client) cacheEntry(p string) {
 	state := c.fsys.shards[c.fsys.ownerSlice(p)]
-	if a, err := state.ns.Stat(p); err == nil {
-		st := c.st()
-		st.attrs.Put(p, a)
-		st.dentries.PutPositive(p, a.Ino)
+	a, err := state.ns.Stat(p)
+	if err != nil {
+		return
+	}
+	c.fillEntry(c.p, p, a)
+	if c.cfg().CacheMode != CacheLease {
+		return
+	}
+	if dir := fs.ParentDir(p); dir != "." && dir != p {
+		if da, derr := state.ns.Stat(dir); derr == nil {
+			c.fillEntry(c.p, dir, da)
+		}
 	}
 }
 
@@ -750,6 +857,7 @@ func (c *client) Create(p string) error {
 		}
 		_, err = state.ns.Create(p, 0o644, sp.Now())
 		if err == nil {
+			f.revokeOnMutate(sp, c.st(), p, true)
 			srv.wafl.LogMetadata(sp, cfg.MetaLogBytes)
 			f.commit(sp, state, srv, fs.OpCreate, p)
 		}
@@ -792,10 +900,14 @@ func (c *client) Mkdir(p string) error {
 		}
 		_, err = state.ns.Mkdir(p, 0o755, sp.Now())
 		if err == nil {
-			srv.wafl.LogMetadata(sp, cfg.MetaLogBytes)
+			// The broadcast applies the replicas at this same instant;
+			// revocations must not sleep between the primary and the
+			// replica applies, so they come after it.
 			f.replicate(sp, state, cfg.MkdirService, func(ns *namespace.Namespace, now time.Duration) {
 				ns.Mkdir(p, 0o755, now)
 			})
+			f.revokeOnMutate(sp, c.st(), p, true)
+			srv.wafl.LogMetadata(sp, cfg.MetaLogBytes)
 			f.commit(sp, state, srv, fs.OpMkdir, p)
 		}
 	})
@@ -835,10 +947,12 @@ func (c *client) Rmdir(p string) error {
 		f.service(sp, srv, cfg.RemoveService, -1)
 		err = state.ns.Rmdir(p, sp.Now())
 		if err == nil {
-			srv.wafl.LogMetadata(sp, cfg.MetaLogBytes)
 			f.replicate(sp, state, cfg.RemoveService, func(ns *namespace.Namespace, now time.Duration) {
 				ns.Rmdir(p, now)
 			})
+			f.revokeOnMutate(sp, c.st(), p, true)
+			f.dropDelegation(p)
+			srv.wafl.LogMetadata(sp, cfg.MetaLogBytes)
 			f.commit(sp, state, srv, fs.OpRmdir, p)
 		}
 	})
@@ -846,9 +960,7 @@ func (c *client) Rmdir(p string) error {
 		return cerr
 	}
 	if err == nil {
-		st := c.st()
-		st.attrs.Invalidate(p)
-		st.dentries.Invalidate(p)
+		c.dropEntry(p)
 	}
 	return err
 }
@@ -877,6 +989,7 @@ func (c *client) Unlink(p string) error {
 		}
 		err = state.ns.Unlink(p, sp.Now())
 		if err == nil {
+			f.revokeOnMutate(sp, c.st(), p, true)
 			srv.wafl.LogMetadata(sp, cfg.MetaLogBytes)
 			f.commit(sp, state, srv, fs.OpUnlink, p)
 		}
@@ -885,9 +998,7 @@ func (c *client) Unlink(p string) error {
 		return cerr
 	}
 	if err == nil {
-		st := c.st()
-		st.attrs.Invalidate(p)
-		st.dentries.Invalidate(p)
+		c.dropEntry(p)
 	}
 	return err
 }
@@ -946,6 +1057,18 @@ func (c *client) Rename(oldPath, newPath string) error {
 			}
 			err = state.ns.Rename(oldPath, newPath, sp.Now())
 			if err == nil {
+				f.revokeOnMutate(sp, c.st(), oldPath, true)
+				f.revokeOnMutate(sp, c.st(), newPath, true)
+				f.dropDelegation(oldPath)
+				// A directory rename moved every descendant with it:
+				// leases keyed by the old paths are dead. All reachable
+				// cases (subtree placement, single shard) keep a
+				// subtree's entries on one slice.
+				if f.cfg.CacheMode == CacheLease {
+					if a, serr := state.ns.Stat(newPath); serr == nil && a.Type == fs.TypeDirectory {
+						f.revokeSubtree(sp, c.st(), oldPath, f.ownerSlice(oldPath))
+					}
+				}
 				srv.wafl.LogMetadata(sp, cfg.MetaLogBytes)
 				f.commit(sp, state, srv, fs.OpRename, newPath)
 			}
@@ -995,6 +1118,7 @@ func (c *client) Rename(oldPath, newPath string) error {
 						if a.Size > 0 {
 							dstState.ns.SetSize(ni.Ino, a.Size, q.Now())
 						}
+						f.revokeOnMutate(q, c.st(), newPath, true)
 						dstSrv.wafl.LogMetadata(q, cfg.MetaLogBytes)
 						f.commit(q, dstState, dstSrv, fs.OpRename, newPath)
 					}
@@ -1006,6 +1130,7 @@ func (c *client) Rename(oldPath, newPath string) error {
 				f.charge(sp, srcState, cfg.RemoveService, -1)
 				err = srcState.ns.Unlink(oldPath, sp.Now())
 				if err == nil {
+					f.revokeOnMutate(sp, c.st(), oldPath, true)
 					srv.wafl.LogMetadata(sp, cfg.MetaLogBytes)
 					f.commit(sp, srcState, srv, fs.OpUnlink, oldPath)
 				}
@@ -1017,9 +1142,7 @@ func (c *client) Rename(oldPath, newPath string) error {
 		}
 	}
 	if err == nil {
-		st := c.st()
-		st.attrs.Invalidate(oldPath)
-		st.dentries.Invalidate(oldPath)
+		c.dropEntry(oldPath)
 		c.cacheEntry(newPath)
 	}
 	return err
@@ -1048,6 +1171,9 @@ func (c *client) Link(oldPath, newPath string) error {
 		f.service(sp, srv, cfg.CreateService, -1)
 		err = state.ns.Link(oldPath, newPath, sp.Now())
 		if err == nil {
+			// The link bumps the target's nlink: both names go stale.
+			f.revokeOnMutate(sp, c.st(), oldPath, false)
+			f.revokeOnMutate(sp, c.st(), newPath, true)
 			srv.wafl.LogMetadata(sp, cfg.MetaLogBytes)
 			f.commit(sp, state, srv, fs.OpLink, newPath)
 		}
@@ -1077,6 +1203,7 @@ func (c *client) Symlink(target, linkPath string) error {
 		f.service(sp, srv, cfg.CreateService, -1)
 		_, err = state.ns.Symlink(target, linkPath, sp.Now())
 		if err == nil {
+			f.revokeOnMutate(sp, c.st(), linkPath, true)
 			srv.wafl.LogMetadata(sp, cfg.MetaLogBytes)
 			f.commit(sp, state, srv, fs.OpSymlink, linkPath)
 		}
@@ -1090,14 +1217,15 @@ func (c *client) Symlink(target, linkPath string) error {
 	return err
 }
 
-// Stat serves from the attribute cache when fresh, else issues GETATTR
-// to the serving shard.
+// Stat serves from the attribute cache while its entry holds — a TTL
+// that has not lapsed, or a lease that was neither revoked nor
+// epoch-invalidated — else issues GETATTR to the serving shard, which
+// grants a fresh lease under CacheLease.
 func (c *client) Stat(p string) (fs.Attr, error) {
 	f := c.fsys
 	cfg := c.cfg()
 	c.node.Syscall(c.p)
-	st := c.st()
-	if a, ok := st.attrs.Get(p); ok {
+	if a, ok := c.cachedAttr(p); ok {
 		return a, nil
 	}
 	if err := c.resolveParents(p); err != nil {
@@ -1108,6 +1236,9 @@ func (c *client) Stat(p string) (fs.Attr, error) {
 	cerr := c.call("stat", p, f.ownerSlice(p), 120, 140, func(sp *sim.Proc, state, srv *shardSrv) {
 		f.service(sp, srv, cfg.GetattrService, -1)
 		a, err = state.ns.Stat(p)
+		if err == nil {
+			c.fillEntry(sp, p, a)
+		}
 	})
 	if cerr != nil {
 		return fs.Attr{}, cerr
@@ -1115,8 +1246,6 @@ func (c *client) Stat(p string) (fs.Attr, error) {
 	if err != nil {
 		return fs.Attr{}, err
 	}
-	st.attrs.Put(p, a)
-	st.dentries.PutPositive(p, a.Ino)
 	return a, nil
 }
 
@@ -1141,8 +1270,7 @@ func (c *client) Open(p string) (fs.Handle, error) {
 			a, err = state.ns.Stat(p)
 			if err == nil {
 				ino = a.Ino
-				st.attrs.Put(p, a)
-				st.dentries.PutPositive(p, a.Ino)
+				c.fillEntry(sp, p, a)
 			} else {
 				st.dentries.PutNegative(p)
 			}
@@ -1158,7 +1286,7 @@ func (c *client) Open(p string) (fs.Handle, error) {
 	}
 	node := state.ns.Get(ino)
 	if node == nil {
-		st.dentries.Invalidate(p)
+		c.dropEntry(p)
 		return 0, fs.NewError("open", p, fs.ESTALE)
 	}
 	c.nextFH++
@@ -1215,6 +1343,9 @@ func (c *client) flush(of *openFile) error {
 		t := time.Duration(float64(cfg.WriteServicePerKB) * float64(written) / 1024)
 		f.service(sp, srv, t, -1)
 		state.ns.SetSize(of.ino, newSize, sp.Now())
+		// Size and mtime changed: other holders' attribute leases die;
+		// the parent directory is untouched by a content write.
+		f.revokeOnMutate(sp, c.st(), of.path, false)
 		srv.wafl.LogMetadata(sp, cfg.MetaLogBytes+written)
 		f.commit(sp, state, srv, fs.OpWrite, of.path)
 	})
@@ -1225,7 +1356,7 @@ func (c *client) flush(of *openFile) error {
 	of.written = 0
 	of.dirty = false
 	if a, err := f.shards[of.slice].ns.Stat(of.path); err == nil {
-		c.st().attrs.Put(of.path, a)
+		c.fillEntry(c.p, of.path, a)
 	}
 	return nil
 }
@@ -1314,10 +1445,15 @@ func (c *client) ReadDir(p string) ([]fs.DirEntry, error) {
 	return ents, err
 }
 
-// DropCaches clears the node's attribute and dentry caches.
+// DropCaches clears the node's attribute, lease and dentry caches.
 func (c *client) DropCaches() {
 	c.node.Syscall(c.p)
 	st := c.st()
-	st.attrs.Clear()
+	if st.attrs != nil {
+		st.attrs.Clear()
+	}
+	if st.leases != nil {
+		st.leases.Clear()
+	}
 	st.dentries.Clear()
 }

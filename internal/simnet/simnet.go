@@ -12,6 +12,14 @@
 // hook the failure-injection experiments (E19–E21, internal/fault) drive:
 // a Conn.TryCall against a down server burns the client-observed RPC
 // timeout and returns ErrDown instead of executing its service body.
+//
+// Connections are direction-agnostic: a Server can just as well stand
+// for a client node's callback endpoint, with the metadata servers
+// holding Conns to it. The lease-coherence protocol (internal/shard
+// coherence.go, E22–E24) uses exactly that for its server→client
+// revocation and delegation-recall callbacks, with a per-node callback
+// thread pool so coherence traffic cannot deadlock against the MDS
+// client/peer pools.
 package simnet
 
 import (

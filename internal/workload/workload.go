@@ -230,6 +230,56 @@ func fileName(id, subdirs int) string {
 	return string(b)
 }
 
+// ScanStats reports one recursive attribute scan.
+type ScanStats struct {
+	// Dirs and Entries count the directories listed and the entries
+	// whose attributes were retrieved.
+	Dirs, Entries int
+	// Batched reports whether the client served the scan through the
+	// readdirplus protocol (one request per directory) rather than the
+	// readdir+stat fallback (one request per entry).
+	Batched bool
+	Elapsed time.Duration
+}
+
+// Scan walks the tree rooted at root depth-first in name order,
+// retrieving every entry's attributes — the "ls -lR"/incremental-backup
+// data-management pattern of §2.8.3, and the stat-heavy load that makes
+// client metadata caching pay. It uses the batched readdirplus path
+// when c provides one (fs.ReadDirPlusser), falling back to one Stat per
+// entry otherwise; now supplies the clock (virtual or real).
+func Scan(c fs.Client, root string, now func() time.Duration) (ScanStats, error) {
+	_, batched := c.(fs.ReadDirPlusser)
+	st := ScanStats{Batched: batched}
+	start := now()
+	var walk func(dir string) error
+	walk = func(dir string) error {
+		ents, attrs, err := fs.ReadDirPlus(c, dir)
+		if err != nil {
+			return err
+		}
+		st.Dirs++
+		st.Entries += len(ents)
+		prefix := dir
+		if prefix != "/" {
+			prefix += "/"
+		}
+		for i, e := range ents {
+			if attrs[i].Type == fs.TypeDirectory {
+				if err := walk(prefix + e.Name); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := walk(root); err != nil {
+		return st, err
+	}
+	st.Elapsed = now() - start
+	return st, nil
+}
+
 // FileopsResult holds per-operation latencies measured by the fileops
 // micro-benchmark.
 type FileopsResult map[fs.OpKind]time.Duration

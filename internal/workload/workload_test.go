@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -10,6 +11,7 @@ import (
 	"dmetabench/internal/fs"
 	"dmetabench/internal/localfs"
 	"dmetabench/internal/nfs"
+	"dmetabench/internal/shard"
 	"dmetabench/internal/sim"
 )
 
@@ -105,6 +107,73 @@ func TestPostmarkDeterministic(t *testing.T) {
 	a, b := run(), run()
 	if a != b {
 		t.Fatalf("postmark not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestScanBatchedVsFallback(t *testing.T) {
+	// The same tree scanned through the sharded client (readdirplus)
+	// and the NFS client (readdir+stat fallback): identical coverage,
+	// but the batched scan pays per directory where the fallback pays
+	// per entry, so it must finish faster in virtual time.
+	build := func(c fs.Client) error {
+		for d := 0; d < 3; d++ {
+			dir := fmt.Sprintf("/scan/d%d", d)
+			if err := c.Mkdir("/scan"); err != nil && !fs.IsExist(err) {
+				return err
+			}
+			if err := c.Mkdir(dir); err != nil {
+				return err
+			}
+			for i := 0; i < 20; i++ {
+				if err := c.Create(fmt.Sprintf("%s/f%d", dir, i)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	run := func(mk func(k *sim.Kernel, n *cluster.Node, p *sim.Proc) fs.Client) ScanStats {
+		k := sim.New(3)
+		cl := cluster.New(k, cluster.DefaultConfig(1))
+		var st ScanStats
+		k.Spawn("scan", func(p *sim.Proc) {
+			c := mk(k, cl.Nodes[0], p)
+			if err := build(c); err != nil {
+				t.Errorf("build: %v", err)
+				return
+			}
+			c.DropCaches()
+			var err error
+			st, err = Scan(c, "/scan", p.Now)
+			if err != nil {
+				t.Errorf("scan: %v", err)
+			}
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	batched := run(func(k *sim.Kernel, n *cluster.Node, p *sim.Proc) fs.Client {
+		cfg := shard.DefaultConfig(4)
+		cfg.CacheMode = shard.CacheLease
+		return shard.New(k, "scan", cfg).NewClient(n, p)
+	})
+	fallback := run(func(k *sim.Kernel, n *cluster.Node, p *sim.Proc) fs.Client {
+		return nfs.New(k, "scan", nfs.DefaultConfig()).NewClient(n, p)
+	})
+	if !batched.Batched || fallback.Batched {
+		t.Fatalf("batched flags: shard=%v nfs=%v", batched.Batched, fallback.Batched)
+	}
+	if batched.Dirs != 4 || batched.Entries != 63 {
+		t.Fatalf("batched coverage: %d dirs, %d entries", batched.Dirs, batched.Entries)
+	}
+	if fallback.Dirs != batched.Dirs || fallback.Entries != batched.Entries {
+		t.Fatalf("coverage differs: %+v vs %+v", batched, fallback)
+	}
+	if batched.Elapsed >= fallback.Elapsed {
+		t.Fatalf("batched scan (%v) not faster than per-entry fallback (%v)",
+			batched.Elapsed, fallback.Elapsed)
 	}
 }
 

@@ -5,26 +5,28 @@
 #        (default: repo root, 1, full snapshot)
 #
 # The snapshot records ns/op, B/op and allocs/op for the simulator
-# substrate benchmarks plus the fault-injection experiments (E19–E21),
-# and the toolchain and commit that produced it, so future PRs have a
-# perf trajectory to compare against (see DESIGN.md,
-# "Performance-regression workflow"). The E19–E21 entries record the
-# real-time cost of a full failover experiment run; they are in the
-# snapshot for the trajectory only — the bench gate never compares them
-# (their timelines are intentionally non-steady-state), so it passes
-# -substrate-only to skip them entirely. With -count N every benchmark
-# runs N times; the JSON stores the per-benchmark mean and the raw
-# `go test` output is written alongside as BENCH_<date>.txt for
-# benchstat.
+# substrate benchmarks plus the fault-injection (E19–E21) and cache-
+# coherence (E22–E24) experiments, and the toolchain and commit that
+# produced it, so future PRs have a perf trajectory to compare against
+# (see DESIGN.md, "Performance-regression workflow"). The experiment
+# entries record the real-time cost of full experiment runs plus their
+# summary metrics (hit rates, stale-read windows) as extra columns; they
+# are in the snapshot for the trajectory only — the bench gate never
+# compares them (failover timelines are intentionally non-steady-state),
+# so it passes -substrate-only to skip them entirely. With -count N
+# every benchmark runs N times; the JSON stores the per-benchmark mean
+# and the raw `go test` output is written alongside as BENCH_<date>.txt
+# for benchstat.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 outdir="."
 count=1
-substrate='BenchmarkSimulatedCreate$|BenchmarkShardedCreate$|BenchmarkNamespaceCreate$|BenchmarkRunnerMeasurement$'
+substrate='BenchmarkSimulatedCreate$|BenchmarkShardedCreate$|BenchmarkCachedGetattr$|BenchmarkNamespaceCreate$|BenchmarkRunnerMeasurement$'
 failover='BenchmarkE19Failover$|BenchmarkE20ReplicationOverhead$|BenchmarkE21RecoveryScaling$'
-pattern="$substrate|$failover"
+coherence='BenchmarkE22LeaseTTL$|BenchmarkE23CacheModes$|BenchmarkE24FailoverCachedLoad$'
+pattern="$substrate|$failover|$coherence"
 while [ $# -gt 0 ]; do
 	case "$1" in
 	-count)

@@ -2,12 +2,16 @@
 # bench_gate.sh — benchmark regression gate for CI.
 #
 # Runs the substrate benchmarks into a fresh snapshot (bench-out/ by
-# default), compares BenchmarkSimulatedCreate ns/op against the newest
-# committed BENCH_*.json in the repo root, and
+# default), compares BenchmarkSimulatedCreate and BenchmarkCachedGetattr
+# ns/op against the newest committed BENCH_*.json in the repo root, and
+# for each gated benchmark
 #
 #   - fails (exit 1) on a regression worse than 2x,
 #   - warns on any regression above 15%,
 #   - passes otherwise.
+#
+# A gated benchmark missing from the committed baseline is skipped with
+# a notice (the first snapshot that includes it becomes its baseline).
 #
 # Usage: scripts/bench_gate.sh [output-dir]
 set -eu
@@ -24,39 +28,46 @@ fi
 
 # Three samples per benchmark: one 1s sample on a shared CI runner is
 # too noisy for a hard gate; the snapshot records the mean. Substrate
-# benchmarks only — the gate never compares the failover experiments,
-# so it does not pay for running them.
+# benchmarks only — the gate never compares the failover or coherence
+# experiments, so it does not pay for running them.
 scripts/bench.sh "$outdir" -count 3 -substrate-only
 fresh=$(ls "$outdir"/BENCH_*.json | sort | tail -1)
 
 extract() {
-	# Pull ns_per_op of BenchmarkSimulatedCreate out of a snapshot; both
-	# the old (three-field) and new (with go/commit) formats keep one
-	# benchmark per line.
-	awk '/"BenchmarkSimulatedCreate"/ {
+	# Pull ns_per_op of one benchmark out of a snapshot; every snapshot
+	# format keeps one benchmark per line.
+	awk -v bench="\"$2\"" 'index($0, bench) {
 		if (match($0, /"ns_per_op": *[0-9.]+/)) {
 			v = substr($0, RSTART, RLENGTH); sub(/.*: */, "", v); print v; exit
 		}
 	}' "$1"
 }
 
-base_ns=$(extract "$baseline")
-new_ns=$(extract "$fresh")
-if [ -z "$base_ns" ] || [ -z "$new_ns" ]; then
-	echo "bench_gate: BenchmarkSimulatedCreate missing from $baseline or $fresh" >&2
-	exit 1
-fi
-
-echo "bench_gate: BenchmarkSimulatedCreate $base_ns ns/op ($baseline) -> $new_ns ns/op"
-awk -v base="$base_ns" -v new="$new_ns" 'BEGIN {
-	ratio = new / base
-	printf "bench_gate: ratio %.2fx\n", ratio
-	if (ratio > 2.0) {
-		printf "bench_gate: FAIL — BenchmarkSimulatedCreate regressed more than 2x\n"
-		exit 1
-	}
-	if (ratio > 1.15) {
-		printf "bench_gate: WARNING — BenchmarkSimulatedCreate regressed %.0f%%\n", (ratio - 1) * 100
-	}
-	exit 0
-}'
+status=0
+for bench in BenchmarkSimulatedCreate BenchmarkCachedGetattr; do
+	base_ns=$(extract "$baseline" "$bench")
+	new_ns=$(extract "$fresh" "$bench")
+	if [ -z "$new_ns" ]; then
+		echo "bench_gate: $bench missing from $fresh" >&2
+		status=1
+		continue
+	fi
+	if [ -z "$base_ns" ]; then
+		echo "bench_gate: $bench has no baseline in $baseline yet; skipping"
+		continue
+	fi
+	echo "bench_gate: $bench $base_ns ns/op ($baseline) -> $new_ns ns/op"
+	awk -v base="$base_ns" -v new="$new_ns" -v bench="$bench" 'BEGIN {
+		ratio = new / base
+		printf "bench_gate: %s ratio %.2fx\n", bench, ratio
+		if (ratio > 2.0) {
+			printf "bench_gate: FAIL — %s regressed more than 2x\n", bench
+			exit 1
+		}
+		if (ratio > 1.15) {
+			printf "bench_gate: WARNING — %s regressed %.0f%%\n", bench, (ratio - 1) * 100
+		}
+		exit 0
+	}' || status=1
+done
+exit $status
