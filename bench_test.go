@@ -183,6 +183,23 @@ func BenchmarkE24FailoverCachedLoad(b *testing.B) {
 		"invalidate: stale-read window", "no invalidate: stale-read window")
 }
 
+func BenchmarkE25SplitScaling(b *testing.B) {
+	runExperiment(b, experiments.E25SplitScaling,
+		"creates/s @  8 shards, split off", "creates/s @  8 shards, split on",
+		"split advantage @ 8 shards")
+}
+
+func BenchmarkE26SplitStorm(b *testing.B) {
+	runExperiment(b, experiments.E26SplitStorm,
+		"threshold   512: deepest split dip", "threshold  8192: deepest split dip")
+}
+
+func BenchmarkE27SplitRouting(b *testing.B) {
+	runExperiment(b, experiments.E27SplitRouting,
+		"bitmap ttl  50ms: bounces/revisit", "bitmap ttl   10s: bounces/revisit",
+		"fan-out penalty")
+}
+
 func BenchmarkA01AveragingMethods(b *testing.B) {
 	runExperiment(b, experiments.A01AveragingMethods,
 		"wall-clock average", "stonewall average")
@@ -265,6 +282,37 @@ func BenchmarkCachedGetattr(b *testing.B) {
 				b.Error(err)
 				return
 			}
+		}
+	})
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSplitCreate measures the real-time cost of one simulated
+// create into an already-split giant directory (4 shards, split level
+// capped): the steady-state split path every E25–E27 run spends most of
+// its operations on — bitmap routing, partition hashing, the split-aware
+// owner resolution — gated alongside SimulatedCreate.
+func BenchmarkSplitCreate(b *testing.B) {
+	k := sim.New(1)
+	cl := cluster.New(k, cluster.DefaultConfig(1))
+	cfg := shard.DefaultConfig(4)
+	cfg.SplitThreshold = 256
+	fsys := shard.New(k, "bench", cfg)
+	k.Spawn("creator", func(p *sim.Proc) {
+		c := fsys.NewClient(cl.Nodes[0], p)
+		c.Mkdir("/wide")
+		for i := 0; i < 2000; i++ {
+			c.Create(fmt.Sprintf("/wide/w%d", i))
+		}
+		if fsys.SplitLevel("/wide") == 0 {
+			b.Error("directory did not split during setup")
+			return
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Create(fmt.Sprintf("/wide/b%d", i))
 		}
 	})
 	if err := k.Run(); err != nil {

@@ -4,8 +4,9 @@
 // the distributed file systems it was evaluated on (NFS/WAFL, Lustre,
 // Ontap GX, AFS, CXFS), and the full Chapter-4 experiment suite —
 // extended past the thesis with a sharded multi-MDS model
-// (internal/shard) carrying fault injection, primary/backup failover
-// and lease-based client cache coherence (experiments E16–E24).
+// (internal/shard) carrying fault injection, primary/backup failover,
+// lease-based client cache coherence and dynamic giant-directory
+// splitting (experiments E16–E27).
 //
 // See README.md for the layout, DESIGN.md for the system inventory and
 // EXPERIMENTS.md for the paper-vs-measured record. The root package holds

@@ -86,6 +86,34 @@ func runAndSave(t *testing.T, seed int64, mode string) map[string]string {
 				plan.Start(mp, fsys)
 			},
 		}
+	case "shard-split":
+		// Giant-directory splitting under lease coherence and fault
+		// injection: WideDirFiles pushes one shared directory over the
+		// split threshold repeatedly while a shard crashes and restarts
+		// mid-run, so split migrations, bounce routing, bitmap
+		// revocations and a split racing the takeover/failback must all
+		// land at identical virtual times across identically-seeded
+		// runs.
+		cfg := shard.DefaultConfig(4)
+		cfg.Replicate = true
+		cfg.SplitThreshold = 48
+		cfg.CacheMode = shard.CacheLease
+		cfg.TrackStaleness = true
+		cfg.LeaseTTL = 2 * time.Second
+		cfg.TakeoverDetect = 100 * time.Millisecond
+		fsys := shard.New(k, "meta", cfg)
+		plan := (&fault.Plan{}).Outage(150*time.Millisecond, 800*time.Millisecond, 1)
+		r = &Runner{
+			Cluster: cl,
+			FS:      fsys,
+			Params: Params{ProblemSize: 300, WorkDir: "/bench",
+				TimeLimit: 1400 * time.Millisecond, Interval: 100 * time.Millisecond},
+			SlotsPerNode: 2,
+			Plugins:      []Plugin{WideDirFiles{StatEvery: 7}},
+			BenchStartHook: func(mp *sim.Proc, _ MeasurementInfo) {
+				plan.Start(mp, fsys)
+			},
+		}
 	case "lustre-writeback":
 		cfg := lustre.DefaultConfig()
 		cfg.Writeback = true
@@ -139,13 +167,15 @@ func runAndSave(t *testing.T, seed int64, mode string) map[string]string {
 // model under both placement policies (broadcast replication, peer
 // pools, Zipf routing and cross-shard migrates), the replicated
 // sharded model under fault injection (crash, timer-driven takeover,
-// retry backoff, restart recovery and failback), and the lease-coherent
+// retry backoff, restart recovery and failback), the lease-coherent
 // client cache under fault injection (grants, revocation callbacks,
-// delegations, crash-time epoch invalidation).
+// delegations, crash-time epoch invalidation), and giant-directory
+// splitting racing a crash/takeover (migrations, bounce routing,
+// bitmap revocations).
 func TestRunnerDeterministic(t *testing.T) {
 	for _, mode := range []string{
 		"nfs-timed", "lustre-writeback", "shard-hash", "shard-subtree",
-		"shard-failover", "shard-coherent",
+		"shard-failover", "shard-coherent", "shard-split",
 	} {
 		t.Run(mode, func(t *testing.T) {
 			a := runAndSave(t, 77, mode)

@@ -373,6 +373,8 @@ func PluginByName(name string) (Plugin, error) {
 		return RenameFiles{}, nil
 	case "StatMutateFiles":
 		return StatMutateFiles{}, nil
+	case "WideDirFiles":
+		return WideDirFiles{}, nil
 	case "ZipfDirFiles":
 		return ZipfDirFiles{}, nil
 	default:
@@ -383,7 +385,11 @@ func PluginByName(name string) (Plugin, error) {
 // ZipfDirFiles models hot-directory skew: Projects top-level project
 // subtrees each hold SubdirsPerProject directories; every operation
 // draws a project — Zipf(Skew) when Skew > 1, uniform otherwise — picks
-// a subdirectory uniformly, and creates a file there. When MkdirEvery
+// a subdirectory uniformly, and creates a file there. The cutoff is
+// strictly Skew > 1, not >= 1: math/rand's Zipf generator is defined
+// only for s > 1 (NewZipf returns nil at s == 1), so a configured skew
+// of exactly 1.0 deliberately degrades to the uniform draw — pinned by
+// TestZipfDirFilesSkewBoundary. When MkdirEvery
 // is positive the process additionally creates a fresh directory in the
 // chosen project every MkdirEvery files, so namespace mutations stay
 // part of the steady-state load. The draw sequence is seeded per rank,
@@ -548,6 +554,76 @@ func (z ZipfDirFiles) Cleanup(c *Ctx) error {
 			continue
 		}
 		if err := RemoveAll(c.FS, zipfProjDir(root, j)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WideDirFiles is the mdtest shared-directory pattern at scale: every
+// process hammers ONE directory shared by all ranks, creating its own
+// rank-partitioned files and optionally re-stating earlier ones. It is
+// the workload that defeats per-directory partitioning — all load lands
+// on whichever server owns the directory — and therefore the probe for
+// dynamic directory splitting (E25–E27): with splitting enabled the
+// same load spreads across shards as the directory grows. Unlike
+// MakeOnedirFiles it is deadline-aware (steady-state timelines, E26)
+// and creates ProblemSize files per process rather than in total, so
+// adding workers adds load.
+type WideDirFiles struct {
+	// StatEvery mixes one stat of an earlier own file per this many
+	// creates when positive (the routing probe of E27); zero or
+	// negative means pure creates.
+	StatEvery int
+}
+
+// Name implements Plugin.
+func (WideDirFiles) Name() string { return "WideDirFiles" }
+
+// wideDir returns the shared directory.
+func wideDir(c *Ctx) string {
+	if c.Params.WorkDir == "/" {
+		return "/wide"
+	}
+	return c.Params.WorkDir + "/wide"
+}
+
+// Prepare creates the shared directory (every process tries; EEXIST is
+// fine).
+func (WideDirFiles) Prepare(c *Ctx) error { return MkdirAll(c.FS, wideDir(c)) }
+
+// DoBench creates this process's files in the shared directory, names
+// partitioned by rank so uniqueness conflicts cannot occur, until the
+// count or the deadline runs out.
+func (w WideDirFiles) DoBench(c *Ctx) error {
+	dir := wideDir(c)
+	for i := 0; i < c.Params.ProblemSize; i++ {
+		if c.Deadline > 0 && c.Expired() {
+			return nil
+		}
+		if err := c.FS.Create(rankFileName(dir, c.Rank, i)); err != nil {
+			return err
+		}
+		c.Tick()
+		if w.StatEvery > 0 && (i+1)%w.StatEvery == 0 {
+			if _, err := c.FS.Stat(rankFileName(dir, c.Rank, i/2)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Cleanup removes this process's files (the shared directory itself
+// stays, like MakeOnedirFiles; a timed run may have created fewer files
+// than ProblemSize, so missing ones are tolerated).
+func (w WideDirFiles) Cleanup(c *Ctx) error {
+	dir := wideDir(c)
+	for i := 0; i < c.Params.ProblemSize; i++ {
+		if err := c.FS.Unlink(rankFileName(dir, c.Rank, i)); err != nil {
+			if fs.IsNotExist(err) {
+				break // a timed run stopped here; nothing beyond exists
+			}
 			return err
 		}
 	}

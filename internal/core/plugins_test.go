@@ -54,6 +54,7 @@ func TestEveryPluginRoundTrips(t *testing.T) {
 		"MakeDirs", "DeleteFiles", "StatFiles", "StatNocacheFiles",
 		"StatMultinodeFiles", "OpenCloseFiles", "ReadDirStatFiles",
 		"ReadDirPlusFiles", "RenameFiles", "StatMutateFiles",
+		"WideDirFiles",
 	}
 	for _, name := range names {
 		name := name

@@ -107,6 +107,9 @@ func All() []Experiment {
 		{"E22", E22LeaseTTL},
 		{"E23", E23CacheModes},
 		{"E24", E24FailoverCachedLoad},
+		{"E25", E25SplitScaling},
+		{"E26", E26SplitStorm},
+		{"E27", E27SplitRouting},
 	}
 }
 
@@ -158,6 +161,23 @@ func windowThroughput(m *results.Measurement, from, to time.Duration) float64 {
 		return 0
 	}
 	return sum / float64(n)
+}
+
+// minThroughput returns the lowest per-interval throughput of a
+// measurement between from and to; ok is false when the window holds
+// no samples (a genuine zero-throughput interval is a valid minimum,
+// an empty window is not).
+func minThroughput(m *results.Measurement, from, to time.Duration) (min float64, ok bool) {
+	min = -1
+	for _, r := range m.Summary() {
+		if r.T > from && r.T <= to && (min < 0 || r.Throughput < min) {
+			min = r.Throughput
+		}
+	}
+	if min < 0 {
+		return 0, false
+	}
+	return min, true
 }
 
 // maxCOV returns the maximum COV between from and to.

@@ -410,6 +410,12 @@ func (c *client) dropEntry(p string) {
 func (c *client) ReadDirPlus(p string) ([]fs.DirEntry, []fs.Attr, error) {
 	f := c.fsys
 	cfg := c.cfg()
+	if f.splitActive() {
+		// Like ReadDir: the fan-out reads the split level at service
+		// time, closing the queued-request race with a concurrent
+		// split.
+		return c.splitReadDirPlus(p)
+	}
 	slice := f.contentSlice(p)
 	if slice < 0 {
 		return fs.StatEntries(c, p)

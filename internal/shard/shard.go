@@ -44,6 +44,16 @@
 // crash takeover or a failback bumps it and discards the slice's lease
 // tables, so with Config.CrashInvalidate the failover path cannot leak
 // stale reads beyond the takeover itself.
+//
+// Giant directories split dynamically (split.go, experiments E25–E27):
+// with Config.SplitThreshold set, a directory whose entry count crosses
+// the threshold re-partitions its entries across shards by hash-of-name
+// over a doubling split level — the GIGA+ cure for the one-directory/
+// one-shard wall — with the migration itself paid as interconnect
+// traffic, journaled for takeover replay, and coherent with the lease
+// protocol. Clients route through a cached per-directory split bitmap
+// and pay a bounce when it is stale; ReadDir/ReadDirPlus fan out over
+// the partition slices and merge.
 package shard
 
 import (
@@ -181,6 +191,22 @@ type Config struct {
 	// slice state (bookkeeping only) and counts mismatches in
 	// FS.StaleReads — the staleness instrument of E22–E24.
 	TrackStaleness bool
+
+	// SplitThreshold enables dynamic giant-directory splitting
+	// (split.go, E25–E27): when a directory's entry count on one slice
+	// crosses the threshold, its entries re-partition across shards by
+	// hash-of-name over a doubling split level, GIGA+ style. Zero
+	// disables splitting; it requires hash placement and >= 2 shards.
+	SplitThreshold int
+	// SplitMovePerEntry is the per-entry migration cost of a split step,
+	// charged on both sides of each source→destination transfer.
+	SplitMovePerEntry time.Duration
+	// SplitBitmapTTL is the validity of a client's cached per-directory
+	// split bitmap under the TTL and uncached modes; an expired or stale
+	// bitmap costs a routing bounce, never correctness. CacheLease ties
+	// the bitmap to the directory's lease (LeaseTTL, revocation, epoch)
+	// instead.
+	SplitBitmapTTL time.Duration
 	// AttrCacheCap bounds each node's client cache entry counts — the
 	// attribute/lease cache and the dentry cache alike (0 = unbounded);
 	// eviction goes by expiry then insertion order.
@@ -229,6 +255,9 @@ func DefaultConfig(n int) Config {
 		ReaddirPlusPerEntry: 2 * time.Microsecond,
 		Delegations:         true,
 		CrashInvalidate:     true,
+
+		SplitMovePerEntry: 4 * time.Microsecond,
+		SplitBitmapTTL:    30 * time.Second,
 	}
 }
 
@@ -328,6 +357,26 @@ type FS struct {
 	// virtual time of the most recent one.
 	StaleReads  int64
 	LastStaleAt time.Duration
+
+	// Giant-directory splitting state and counters (split.go, E25–E27).
+	splitDirs map[string]*dirSplit
+	// moved maps a migrated entry's old identity to its new one (slices
+	// number their inodes independently, so identity is slice+ino): a
+	// handle opened before a split chases its file across migrations,
+	// while a same-name replacement stays a stale handle. Bounded by
+	// the total entries ever migrated.
+	moved map[entryID]entryID
+	// Splits records every completed split step, in order.
+	Splits []SplitEvent
+	// SplitMoved counts entries migrated by split steps.
+	SplitMoved int64
+	// Bounces counts client RPCs misrouted by a stale or missing split
+	// bitmap (each cost one extra redirect round trip).
+	Bounces int64
+	// PartialListings counts ReadDir/ReadDirPlus merges that skipped a
+	// down peer slice and returned a degraded (partial) listing — the
+	// aggregated-namespace failure mode a client otherwise cannot see.
+	PartialListings int64
 }
 
 type connKey struct {
@@ -343,6 +392,9 @@ type nodeState struct {
 	leases *clientcache.LeaseCache
 	cb     *simnet.Server
 	cbConn *simnet.Conn
+	// splits is the node's per-directory split-bitmap cache, created
+	// lazily the first time a server reports a split level (split.go).
+	splits *clientcache.SplitMap
 }
 
 // New creates a sharded metadata service on kernel k.
@@ -354,10 +406,12 @@ func New(k *sim.Kernel, name string, cfg Config) *FS {
 		cfg.RetryMax = 64
 	}
 	f := &FS{
-		k:     k,
-		cfg:   cfg,
-		conns: make(map[connKey]*simnet.Conn),
-		nodes: make(map[*cluster.Node]*nodeState),
+		k:         k,
+		cfg:       cfg,
+		conns:     make(map[connKey]*simnet.Conn),
+		nodes:     make(map[*cluster.Node]*nodeState),
+		splitDirs: make(map[string]*dirSplit),
+		moved:     make(map[entryID]entryID),
 	}
 	for i := 0; i < cfg.NumShards; i++ {
 		id := name + "-" + strconv.Itoa(i)
@@ -382,6 +436,9 @@ func (f *FS) Name() string {
 	n := "shard" + strconv.Itoa(len(f.shards)) + "-" + f.cfg.Placement.String()
 	if f.replicated() {
 		n += "-repl"
+	}
+	if f.splitActive() {
+		n += "-split"
 	}
 	return n
 }
@@ -525,7 +582,8 @@ func (f *FS) ShardOfDir(dir string) int { return f.contentSlice(dir) }
 
 // ownerSlice returns the slice owning the directory entry at path p:
 // the slice of p's top-level subtree, or the slice hashing p's parent
-// directory.
+// directory — offset by the name-hash partition when the parent is a
+// split giant directory (split.go).
 func (f *FS) ownerSlice(p string) int {
 	if f.cfg.Placement == PlaceSubtree {
 		top := fs.TopComponent(p)
@@ -534,7 +592,12 @@ func (f *FS) ownerSlice(p string) int {
 		}
 		return f.subtreeShard(top)
 	}
-	return int(hashString(fs.ParentDir(p)) % uint32(len(f.shards)))
+	dir := fs.ParentDir(p)
+	h := hashString(dir)
+	if lvl := f.splitLevel(dir); lvl > 0 {
+		return f.sliceAt(h, partitionOf(baseName(p), lvl))
+	}
+	return int(h % uint32(len(f.shards)))
 }
 
 // subtreeShard resolves a top-level subtree to its slice: pinned
@@ -548,7 +611,9 @@ func (f *FS) subtreeShard(top string) int {
 
 // contentSlice returns the slice holding the file entries of directory
 // dir, or -1 when the directory spans every shard (the root under
-// subtree placement, whose top-level entries are partitioned).
+// subtree placement, whose top-level entries are partitioned). For a
+// split directory it returns the home slice — partition 0 — and the
+// fan-out paths consult splitSlices for the rest.
 func (f *FS) contentSlice(dir string) int {
 	if f.cfg.Placement == PlaceSubtree {
 		top := fs.TopComponent(dir)
@@ -769,6 +834,38 @@ func (c *client) call(op string, path string, slice int, reqBytes, respBytes int
 	})
 }
 
+// callEntry is call for operations addressed at the directory entry p,
+// with split-bitmap routing: the client first routes by its cached
+// bitmap (paying a bounce when the guess is wrong, split.go), then the
+// RPC targets the authoritative slice — re-resolved on every retry, so
+// a failover or a split between attempts redirects the retry. The
+// service body receives the slice state re-checked at service start; a
+// body that then sleeps (queueing for a directory lock, the service
+// charge itself) must re-resolve with entryState immediately before
+// touching the namespace, because a concurrent split can move
+// ownership during any wait. A request acted on by the contacted
+// server against a re-homed slice models proxying: the cost stays at
+// the contacted server, the state change lands where routing looks.
+func (c *client) callEntry(op, p string, reqBytes, respBytes int64,
+	service func(sp *sim.Proc, state, srv *shardSrv)) error {
+	f := c.fsys
+	c.routeEntry(p)
+	return c.callRetry(op, p, func() bool {
+		srv := f.srvFor(f.ownerSlice(p))
+		return f.conn(c.node, srv).TryCall(c.p, reqBytes, respBytes, func(sp *sim.Proc) {
+			service(sp, f.shards[f.ownerSlice(p)], srv)
+		}) != nil
+	})
+}
+
+// entryState returns the slice state authoritative for entry p at this
+// instant. Mutating (and reading) service bodies call it immediately
+// before the namespace access, with no virtual time in between — the
+// commit-instant re-resolution that makes concurrent splits unable to
+// strand an entry on a slice routing no longer consults, no matter how
+// long the request waited in queues or on locks.
+func (f *FS) entryState(p string) *shardSrv { return f.shards[f.ownerSlice(p)] }
+
 // resolveParents walks the strict ancestors of p through the dentry
 // cache, issuing one LOOKUP RPC to the owning shard per missing
 // component. Under subtree placement every ancestor of a path shares
@@ -846,7 +943,7 @@ func (c *client) Create(p string) error {
 	defer imutex.Unlock()
 
 	var err error
-	cerr := c.call("create", p, f.ownerSlice(p), 160, 160, func(sp *sim.Proc, state, srv *shardSrv) {
+	cerr := c.callEntry("create", p, 160, 160, func(sp *sim.Proc, state, srv *shardSrv) {
 		if dir, lerr := state.ns.Lookup(fs.ParentDir(p)); lerr == nil {
 			lock := state.dirLock(f.k, dir.Ino)
 			lock.Lock(sp)
@@ -855,11 +952,17 @@ func (c *client) Create(p string) error {
 		} else {
 			f.service(sp, srv, cfg.CreateService, -1)
 		}
+		// Commit-instant re-resolution: the lock and charge waits above
+		// may have overlapped a split of the parent.
+		state = f.entryState(p)
 		_, err = state.ns.Create(p, 0o644, sp.Now())
 		if err == nil {
 			f.revokeOnMutate(sp, c.st(), p, true)
 			srv.wafl.LogMetadata(sp, cfg.MetaLogBytes)
 			f.commit(sp, state, srv, fs.OpCreate, p)
+			if dir, lerr := state.ns.Lookup(fs.ParentDir(p)); lerr == nil {
+				f.maybeSplit(sp, fs.ParentDir(p), dir.NumChildren(), c.st())
+			}
 		}
 	})
 	if cerr != nil {
@@ -945,8 +1048,42 @@ func (c *client) Rmdir(p string) error {
 	var err error
 	cerr := c.call("rmdir", p, slice, 150, 140, func(sp *sim.Proc, state, srv *shardSrv) {
 		f.service(sp, srv, cfg.RemoveService, -1)
+		// A split directory is empty only when every partition slice
+		// agrees: the peer replicas are checked logically before the
+		// removal commits (no time may pass between check and apply),
+		// and the probe traffic — one interconnect hop per live peer
+		// slice examined, local when a failover co-located the slice
+		// here (the splitFanout rule) — is paid after the outcome is
+		// decided, on success and on ENOTEMPTY alike. A down peer's
+		// state still counts, the way replicate applies to down shards.
+		var probes []int
+		payProbes := func() {
+			for _, s := range probes {
+				peer := f.srvFor(s)
+				switch {
+				case !peer.up:
+				case peer == srv:
+					f.charge(sp, peer, cfg.ReaddirService, -1)
+				default:
+					f.hop(sp, peer, func(q *sim.Proc) {
+						f.charge(q, peer, cfg.ReaddirService, -1)
+					})
+				}
+			}
+		}
+		if f.splitLevel(p) > 0 {
+			for _, s := range f.splitSlices(p)[1:] {
+				probes = append(probes, s)
+				if hasFileEntries(f.shards[s].ns, p, sp.Now()) {
+					err = fs.NewError("rmdir", p, fs.ENOTEMPTY)
+					payProbes() // the failed probe ran its readdirs too
+					return
+				}
+			}
+		}
 		err = state.ns.Rmdir(p, sp.Now())
 		if err == nil {
+			f.dropSplit(p)
 			f.replicate(sp, state, cfg.RemoveService, func(ns *namespace.Namespace, now time.Duration) {
 				ns.Rmdir(p, now)
 			})
@@ -954,6 +1091,7 @@ func (c *client) Rmdir(p string) error {
 			f.dropDelegation(p)
 			srv.wafl.LogMetadata(sp, cfg.MetaLogBytes)
 			f.commit(sp, state, srv, fs.OpRmdir, p)
+			payProbes()
 		}
 	})
 	if cerr != nil {
@@ -978,7 +1116,7 @@ func (c *client) Unlink(p string) error {
 	defer imutex.Unlock()
 
 	var err error
-	cerr := c.call("unlink", p, f.ownerSlice(p), 150, 140, func(sp *sim.Proc, state, srv *shardSrv) {
+	cerr := c.callEntry("unlink", p, 150, 140, func(sp *sim.Proc, state, srv *shardSrv) {
 		if dir, lerr := state.ns.Lookup(fs.ParentDir(p)); lerr == nil {
 			lock := state.dirLock(f.k, dir.Ino)
 			lock.Lock(sp)
@@ -987,6 +1125,7 @@ func (c *client) Unlink(p string) error {
 		} else {
 			f.service(sp, srv, cfg.RemoveService, -1)
 		}
+		state = f.entryState(p) // the waits above may have overlapped a split
 		err = state.ns.Unlink(p, sp.Now())
 		if err == nil {
 			f.revokeOnMutate(sp, c.st(), p, true)
@@ -1034,6 +1173,12 @@ func (c *client) Rename(oldPath, newPath string) error {
 	var err error
 	if srcSlice == dstSlice {
 		cerr := c.call("rename", oldPath, srcSlice, 150, 140, func(sp *sim.Proc, state, srv *shardSrv) {
+			// Re-resolve ownership at service time (the callEntry rule),
+			// and again under the lock below: a split landing while this
+			// request queued or waited can re-home either name; renaming
+			// on a pinned slice would strand the new entry where the
+			// split-aware routing never looks.
+			state = f.entryState(oldPath)
 			if dir, lerr := state.ns.Lookup(fs.ParentDir(oldPath)); lerr == nil {
 				lock := state.dirLock(f.k, dir.Ino)
 				lock.Lock(sp)
@@ -1041,6 +1186,18 @@ func (c *client) Rename(oldPath, newPath string) error {
 				f.service(sp, srv, cfg.RenameService, dir.NumChildren())
 			} else {
 				f.service(sp, srv, cfg.RenameService, -1)
+			}
+			// Commit-instant re-resolution; no virtual time passes from
+			// here to ns.Rename. When a mid-flight split separated the
+			// two names' partitions, the rename surfaces a transient
+			// EXDEV — an online repartition briefly refusing a rename it
+			// can no longer do atomically, like any
+			// migration-in-progress busy error — rather than corrupting
+			// placement.
+			state = f.entryState(oldPath)
+			if f.ownerSlice(newPath) != f.ownerSlice(oldPath) {
+				err = fs.NewError("rename", newPath, fs.EXDEV)
+				return
 			}
 			if f.cfg.Placement == PlaceHashDir && len(f.shards) > 1 {
 				// Renaming a directory would strand its hashed files
@@ -1071,6 +1228,12 @@ func (c *client) Rename(oldPath, newPath string) error {
 				}
 				srv.wafl.LogMetadata(sp, cfg.MetaLogBytes)
 				f.commit(sp, state, srv, fs.OpRename, newPath)
+				// The rename inserted an entry at the destination parent:
+				// it can push that directory over the split threshold
+				// just like a create.
+				if ndir, nlerr := state.ns.Lookup(fs.ParentDir(newPath)); nlerr == nil {
+					f.maybeSplit(sp, fs.ParentDir(newPath), ndir.NumChildren(), c.st())
+				}
 			}
 		})
 		if cerr != nil {
@@ -1082,13 +1245,27 @@ func (c *client) Rename(oldPath, newPath string) error {
 		// service body after the client's RPC timeout. Both are
 		// retryable failures drawing on the one callRetry budget, and
 		// every retry restarts the migrate from the source phase.
-		srcState := f.shards[srcSlice]
+		// dirEntries returns the directory-index surcharge argument for
+		// the parent of p in ns — the same dir.NumChildren() the local
+		// rename branch charges, so a large directory prices its rename
+		// identically whether or not the operation crosses a shard.
+		dirEntries := func(ns *namespace.Namespace, p string) int {
+			if dir, lerr := ns.Lookup(fs.ParentDir(p)); lerr == nil {
+				return dir.NumChildren()
+			}
+			return -1
+		}
 		cerr := c.callRetry("rename", newPath, func() bool {
 			err = nil
 			dstDown := false
 			srv := f.srvFor(srcSlice)
 			terr := f.conn(c.node, srv).TryCall(c.p, 150, 140, func(sp *sim.Proc) {
-				f.service(sp, srv, cfg.RenameService, -1)
+				// Re-resolve both ends at service time, like callEntry: a
+				// split landing while this request queued may have
+				// re-homed either entry.
+				srcState := f.entryState(oldPath)
+				f.service(sp, srv, cfg.RenameService, dirEntries(srcState.ns, oldPath))
+				srcState = f.entryState(oldPath) // the charge may have overlapped a split
 				var a fs.Attr
 				a, err = srcState.ns.Stat(oldPath)
 				if err != nil {
@@ -1098,8 +1275,8 @@ func (c *client) Rename(oldPath, newPath string) error {
 					err = fs.NewError("rename", newPath, fs.EXDEV)
 					return
 				}
-				dstState := f.shards[dstSlice]
-				dstSrv := f.srvFor(dstSlice)
+				dstState := f.shards[f.ownerSlice(newPath)]
+				dstSrv := f.srvFor(f.ownerSlice(newPath))
 				if !dstSrv.up {
 					dstDown = true
 					sp.Sleep(f.cfg.RetryTimeout)
@@ -1107,7 +1284,10 @@ func (c *client) Rename(oldPath, newPath string) error {
 				}
 				// Phase 1: insert at the destination shard.
 				f.hop(sp, dstSrv, func(q *sim.Proc) {
-					f.charge(q, dstSrv, cfg.RenameService, -1)
+					f.charge(q, dstSrv, cfg.RenameService, dirEntries(dstState.ns, newPath))
+					// Commit-instant re-resolution after the hop+charge
+					// waits.
+					dstState = f.entryState(newPath)
 					if derr := dstState.ns.Unlink(newPath, q.Now()); derr != nil && !fs.IsNotExist(derr) {
 						err = derr
 						return
@@ -1127,12 +1307,20 @@ func (c *client) Rename(oldPath, newPath string) error {
 					return
 				}
 				// Phase 2: remove at the source shard.
-				f.charge(sp, srcState, cfg.RemoveService, -1)
+				f.charge(sp, srcState, cfg.RemoveService, dirEntries(srcState.ns, oldPath))
+				srcState = f.entryState(oldPath) // commit-instant re-resolution
 				err = srcState.ns.Unlink(oldPath, sp.Now())
 				if err == nil {
 					f.revokeOnMutate(sp, c.st(), oldPath, true)
 					srv.wafl.LogMetadata(sp, cfg.MetaLogBytes)
 					f.commit(sp, srcState, srv, fs.OpUnlink, oldPath)
+					// The migrate grew the destination parent; trigger
+					// from the coordinator, never from inside the hop —
+					// a split hops to peer pools itself, and peer-pool
+					// threads must not wait on other peer pools.
+					if ndir, nlerr := dstState.ns.Lookup(fs.ParentDir(newPath)); nlerr == nil {
+						f.maybeSplit(sp, fs.ParentDir(newPath), ndir.NumChildren(), c.st())
+					}
 				}
 			})
 			return terr != nil || dstDown
@@ -1167,8 +1355,15 @@ func (c *client) Link(oldPath, newPath string) error {
 	imutex.Lock(c.p)
 	defer imutex.Unlock()
 	var err error
-	cerr := c.call("link", newPath, dstSlice, 150, 140, func(sp *sim.Proc, state, srv *shardSrv) {
+	cerr := c.callEntry("link", newPath, 150, 140, func(sp *sim.Proc, state, srv *shardSrv) {
 		f.service(sp, srv, cfg.CreateService, -1)
+		// Commit-instant re-check: a split landing while this request
+		// queued or charged can separate the two names' partitions.
+		state = f.entryState(newPath)
+		if f.ownerSlice(oldPath) != f.ownerSlice(newPath) {
+			err = fs.NewError("link", newPath, fs.EXDEV)
+			return
+		}
 		err = state.ns.Link(oldPath, newPath, sp.Now())
 		if err == nil {
 			// The link bumps the target's nlink: both names go stale.
@@ -1176,6 +1371,9 @@ func (c *client) Link(oldPath, newPath string) error {
 			f.revokeOnMutate(sp, c.st(), newPath, true)
 			srv.wafl.LogMetadata(sp, cfg.MetaLogBytes)
 			f.commit(sp, state, srv, fs.OpLink, newPath)
+			if dir, lerr := state.ns.Lookup(fs.ParentDir(newPath)); lerr == nil {
+				f.maybeSplit(sp, fs.ParentDir(newPath), dir.NumChildren(), c.st())
+			}
 		}
 	})
 	if cerr != nil {
@@ -1199,13 +1397,17 @@ func (c *client) Symlink(target, linkPath string) error {
 	imutex.Lock(c.p)
 	defer imutex.Unlock()
 	var err error
-	cerr := c.call("symlink", linkPath, f.ownerSlice(linkPath), 150, 140, func(sp *sim.Proc, state, srv *shardSrv) {
+	cerr := c.callEntry("symlink", linkPath, 150, 140, func(sp *sim.Proc, state, srv *shardSrv) {
 		f.service(sp, srv, cfg.CreateService, -1)
+		state = f.entryState(linkPath) // the charge may have overlapped a split
 		_, err = state.ns.Symlink(target, linkPath, sp.Now())
 		if err == nil {
 			f.revokeOnMutate(sp, c.st(), linkPath, true)
 			srv.wafl.LogMetadata(sp, cfg.MetaLogBytes)
 			f.commit(sp, state, srv, fs.OpSymlink, linkPath)
+			if dir, lerr := state.ns.Lookup(fs.ParentDir(linkPath)); lerr == nil {
+				f.maybeSplit(sp, fs.ParentDir(linkPath), dir.NumChildren(), c.st())
+			}
 		}
 	})
 	if cerr != nil {
@@ -1233,8 +1435,9 @@ func (c *client) Stat(p string) (fs.Attr, error) {
 	}
 	var a fs.Attr
 	var err error
-	cerr := c.call("stat", p, f.ownerSlice(p), 120, 140, func(sp *sim.Proc, state, srv *shardSrv) {
+	cerr := c.callEntry("stat", p, 120, 140, func(sp *sim.Proc, state, srv *shardSrv) {
 		f.service(sp, srv, cfg.GetattrService, -1)
+		state = f.entryState(p) // the charge may have overlapped a split
 		a, err = state.ns.Stat(p)
 		if err == nil {
 			c.fillEntry(sp, p, a)
@@ -1258,14 +1461,13 @@ func (c *client) Open(p string) (fs.Handle, error) {
 	if err := c.resolveParents(p); err != nil {
 		return 0, err
 	}
-	slice := f.ownerSlice(p)
-	state := f.shards[slice]
 	st := c.st()
 	ino, neg, ok := st.dentries.Lookup(p)
 	if !ok {
 		var err error
-		cerr := c.call("open", p, slice, 120, 140, func(sp *sim.Proc, state, srv *shardSrv) {
+		cerr := c.callEntry("open", p, 120, 140, func(sp *sim.Proc, state, srv *shardSrv) {
 			f.service(sp, srv, cfg.LookupService, -1)
+			state = f.entryState(p) // the charge may have overlapped a split
 			var a fs.Attr
 			a, err = state.ns.Stat(p)
 			if err == nil {
@@ -1284,10 +1486,23 @@ func (c *client) Open(p string) (fs.Handle, error) {
 	} else if neg {
 		return 0, fs.NewError("open", p, fs.ENOENT)
 	}
-	node := state.ns.Get(ino)
-	if node == nil {
+	slice := f.ownerSlice(p)
+	state := f.shards[slice]
+	// Revalidate by path, not by the cached ino alone: every slice
+	// numbers its inodes independently, so after a split migrates the
+	// entry a stale dentry's ino could collide with an unrelated file
+	// on the new owner slice.
+	node, lerr := state.ns.Lookup(p)
+	if lerr != nil {
 		c.dropEntry(p)
 		return 0, fs.NewError("open", p, fs.ESTALE)
+	}
+	if node.Ino != ino {
+		// The dentry predates a migration (or a same-name replacement):
+		// open resolves the name, so refresh the dentry and open the
+		// current incarnation — only flush guards handle incarnations.
+		ino = node.Ino
+		st.dentries.PutPositive(p, ino)
 	}
 	c.nextFH++
 	h := c.nextFH
@@ -1339,10 +1554,25 @@ func (c *client) flush(of *openFile) error {
 	cfg := c.cfg()
 	newSize := of.size + of.written
 	written := of.written
-	cerr := c.call("write", of.path, of.slice, 120+written, 140, func(sp *sim.Proc, state, srv *shardSrv) {
+	var err error
+	id := entryID{of.slice, of.ino}
+	cerr := c.callEntry("write", of.path, 120+written, 140, func(sp *sim.Proc, state, srv *shardSrv) {
 		t := time.Duration(float64(cfg.WriteServicePerKB) * float64(written) / 1024)
 		f.service(sp, srv, t, -1)
-		state.ns.SetSize(of.ino, newSize, sp.Now())
+		// Chase the handle's incarnation across split migrations, then
+		// write through the inode, wherever its name has gone: a rename
+		// keeps the inode alive (the write must land, POSIX fd
+		// semantics), a split migration is followed via FS.moved, and
+		// only a dead inode — unlinked, or re-homed by a cross-shard
+		// migrate that re-created it — is a stale handle that must fail
+		// loudly rather than touch an unrelated same-name replacement.
+		id = f.chaseMoves(id)
+		state = f.shards[id.slice]
+		if state.ns.Get(id.ino) == nil {
+			err = fs.NewError("write", of.path, fs.ESTALE)
+			return
+		}
+		state.ns.SetSize(id.ino, newSize, sp.Now())
 		// Size and mtime changed: other holders' attribute leases die;
 		// the parent directory is untouched by a content write.
 		f.revokeOnMutate(sp, c.st(), of.path, false)
@@ -1352,10 +1582,14 @@ func (c *client) flush(of *openFile) error {
 	if cerr != nil {
 		return cerr
 	}
+	if err != nil {
+		return err
+	}
+	of.slice, of.ino = id.slice, id.ino
 	of.size = newSize
 	of.written = 0
 	of.dirty = false
-	if a, err := f.shards[of.slice].ns.Stat(of.path); err == nil {
+	if a, serr := f.shards[f.ownerSlice(of.path)].ns.Stat(of.path); serr == nil {
 		c.fillEntry(c.p, of.path, a)
 	}
 	return nil
@@ -1377,11 +1611,22 @@ func readdirCost(cfg Config, n int) time.Duration {
 // subtree placement the root spans every shard, so a root listing
 // visits the peers over the interconnect and merges their top-level
 // entries — the namespace-aggregation view of §4.7 at MDS granularity.
-// Peers that are down are skipped: the listing degrades the way an
-// aggregated namespace does when one volume server times out.
+// A split giant directory fans out across its partition slices the
+// same way (splitReadDir). Peers that are down are skipped: the listing
+// degrades the way an aggregated namespace does when one volume server
+// times out, and every degraded merge is surfaced in
+// FS.PartialListings.
 func (c *client) ReadDir(p string) ([]fs.DirEntry, error) {
 	f := c.fsys
 	cfg := c.cfg()
+	if f.splitActive() {
+		// Whenever splitting is possible, list through the fan-out: it
+		// reads the split level at service time, so a split landing
+		// while the request queues cannot hide the just-moved entries
+		// (an unsplit directory is a one-slice fan-out at the same
+		// cost).
+		return c.splitReadDir(p)
+	}
 	c.node.Syscall(c.p)
 	slice := f.contentSlice(p)
 	if slice < 0 {
@@ -1412,6 +1657,10 @@ func (c *client) ReadDir(p string) ([]fs.DirEntry, error) {
 					continue
 				}
 				if !peer.up {
+					// The peer's subtrees are unreachable: the merge
+					// degrades to a partial listing, surfaced on the FS
+					// so callers and experiments can see the loss.
+					f.PartialListings++
 					continue
 				}
 				f.hop(sp, peer, func(q *sim.Proc) {
@@ -1445,7 +1694,8 @@ func (c *client) ReadDir(p string) ([]fs.DirEntry, error) {
 	return ents, err
 }
 
-// DropCaches clears the node's attribute, lease and dentry caches.
+// DropCaches clears the node's attribute, lease, dentry and
+// split-bitmap caches.
 func (c *client) DropCaches() {
 	c.node.Syscall(c.p)
 	st := c.st()
@@ -1454,6 +1704,9 @@ func (c *client) DropCaches() {
 	}
 	if st.leases != nil {
 		st.leases.Clear()
+	}
+	if st.splits != nil {
+		st.splits.Clear()
 	}
 	st.dentries.Clear()
 }

@@ -5,8 +5,9 @@
 #        (default: repo root, 1, full snapshot)
 #
 # The snapshot records ns/op, B/op and allocs/op for the simulator
-# substrate benchmarks plus the fault-injection (E19–E21) and cache-
-# coherence (E22–E24) experiments, and the toolchain and commit that
+# substrate benchmarks plus the fault-injection (E19–E21), cache-
+# coherence (E22–E24) and directory-splitting (E25–E27) experiments,
+# and the toolchain and commit that
 # produced it, so future PRs have a perf trajectory to compare against
 # (see DESIGN.md, "Performance-regression workflow"). The experiment
 # entries record the real-time cost of full experiment runs plus their
@@ -23,10 +24,11 @@ cd "$(dirname "$0")/.."
 
 outdir="."
 count=1
-substrate='BenchmarkSimulatedCreate$|BenchmarkShardedCreate$|BenchmarkCachedGetattr$|BenchmarkNamespaceCreate$|BenchmarkRunnerMeasurement$'
+substrate='BenchmarkSimulatedCreate$|BenchmarkShardedCreate$|BenchmarkCachedGetattr$|BenchmarkSplitCreate$|BenchmarkNamespaceCreate$|BenchmarkRunnerMeasurement$'
 failover='BenchmarkE19Failover$|BenchmarkE20ReplicationOverhead$|BenchmarkE21RecoveryScaling$'
 coherence='BenchmarkE22LeaseTTL$|BenchmarkE23CacheModes$|BenchmarkE24FailoverCachedLoad$'
-pattern="$substrate|$failover|$coherence"
+split='BenchmarkE25SplitScaling$|BenchmarkE26SplitStorm$|BenchmarkE27SplitRouting$'
+pattern="$substrate|$failover|$coherence|$split"
 while [ $# -gt 0 ]; do
 	case "$1" in
 	-count)
