@@ -8,9 +8,17 @@ package dmetabench
 //	go test -bench=. -benchmem
 //
 // regenerates the complete evaluation.
+//
+// Experiment benchmarks run their cells serially by default so ns/op
+// stays comparable across the committed BENCH_*.json trajectory (a
+// wider pool would fold scheduling luck into the numbers). Pass
+// -bench-workers N to measure an experiment's parallel wall-clock
+// instead; the reported metrics are byte-identical either way.
 
 import (
+	"flag"
 	"fmt"
+	"os"
 	"testing"
 	"time"
 
@@ -19,10 +27,20 @@ import (
 	"dmetabench/internal/experiments"
 	"dmetabench/internal/namespace"
 	"dmetabench/internal/nfs"
+	"dmetabench/internal/par"
 	"dmetabench/internal/realrun"
 	"dmetabench/internal/shard"
 	"dmetabench/internal/sim"
 )
+
+var benchWorkers = flag.Int("bench-workers", 1,
+	"worker pool size for experiment-benchmark cells (1 = serial, snapshot-comparable)")
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	par.SetWorkers(*benchWorkers)
+	os.Exit(m.Run())
+}
 
 // runExperiment executes one experiment per iteration and reports the
 // named rows as benchmark metrics.

@@ -68,10 +68,11 @@ func (r *Runner) Run() (*results.Set, error) {
 	return set, nil
 }
 
-// Start spawns the master process and returns the result set it will
-// fill; the caller must drive the kernel (Run or RunFor). Use Run unless
-// the experiment interleaves other simulation activity.
-func (r *Runner) Start(k *sim.Kernel) (*results.Set, error) {
+// plan performs placement discovery for this runner's cluster/slot
+// configuration and returns the filtered execution plan — the combo
+// list both the serial master loop and ParallelRunner's cell
+// decomposition iterate.
+func (r *Runner) plan() ([]Combo, error) {
 	if len(r.Plugins) == 0 {
 		return nil, fmt.Errorf("dmetabench: no operations selected")
 	}
@@ -101,6 +102,17 @@ func (r *Runner) Start(k *sim.Kernel) (*results.Set, error) {
 			}
 		}
 		plan = kept
+	}
+	return plan, nil
+}
+
+// Start spawns the master process and returns the result set it will
+// fill; the caller must drive the kernel (Run or RunFor). Use Run unless
+// the experiment interleaves other simulation activity.
+func (r *Runner) Start(k *sim.Kernel) (*results.Set, error) {
+	plan, err := r.plan()
+	if err != nil {
+		return nil, err
 	}
 	set := results.NewSet(r.Params.Label, r.FS.Name(), r.Params.interval())
 	r.profileStatic(set)

@@ -24,8 +24,14 @@ func E13NamespaceAggregation() *Report {
 		PaperRef: "§4.7.1-4.7.2"}
 	const filers = 8
 
-	// Part (a): single client, local vs. remote volume.
-	{
+	// Part (a) cell: single client, local vs. remote volume, on its own
+	// probe kernel.
+	type e13a struct {
+		local, remote float64
+		forwards      int64
+		err           error
+	}
+	probeLocalRemote := func() e13a {
 		k := sim.New(1313)
 		cl := cluster.New(k, cluster.DefaultConfig(1))
 		fsys := ontapgx.New(k, "gx", filers, ontapgx.DefaultConfig())
@@ -53,52 +59,79 @@ func E13NamespaceAggregation() *Report {
 			remote = rate("/vol3/bench") // owned by filer 3: forwarded
 		})
 		if err := k.Run(); err != nil {
-			r.finding("run failed: %v", err)
-			return r
+			return e13a{err: err}
 		}
-		r.row("creates/s in local volume", local, "ops/s", "volume on mount filer")
-		r.row("creates/s in forwarded volume", remote, "ops/s", "via cluster interconnect")
-		r.row("remote efficiency", 100*remote/local, "%", "[ECK+07] claims ~75%")
-		r.row("forwarded requests", float64(fsys.ForwardCount), "", "")
-		r.finding("paper/[ECK+07]: forwarding costs ~25%%; here remote volume "+
-			"runs at %.0f%% of local", 100*remote/local)
+		return e13a{local: local, remote: remote, forwards: fsys.ForwardCount}
 	}
 
 	// Part (b): multi-node scaling, per-node local volumes vs one shared
-	// volume.
-	scale := func(oneVolume bool, seed int64) *results.Set {
-		k := sim.New(seed)
-		cl := cluster.New(k, cluster.DefaultConfig(filers))
-		fsys := ontapgx.New(k, "gx", filers, ontapgx.DefaultConfig())
-		var paths []string
-		for i := 0; i < filers; i++ {
-			fsys.AddVolume(fmt.Sprintf("vol%d", i), i)
-			fsys.MountThrough(cl.Nodes[i], i)
-			if oneVolume {
-				paths = append(paths, "/vol0")
-			} else {
-				paths = append(paths, fmt.Sprintf("/vol%d", i))
-			}
-		}
-		run := &core.Runner{
-			Cluster:      cl,
-			FS:           fsys,
-			Params:       core.Params{ProblemSize: 1200, PathList: paths, WorkDir: "/vol0"},
-			SlotsPerNode: 4,
-			Plugins:      []core.Plugin{core.MakeFiles{}},
-			Filter: func(c core.Combo) bool {
-				okNodes := c.Nodes == 1 || c.Nodes == 2 || c.Nodes == 4 || c.Nodes == filers
-				return okNodes && (c.PPN == 1 || c.PPN == 4)
+	// volume — one ParallelRunner cell per (nodes, ppn) sweep point.
+	scale := func(oneVolume bool, seed int64, label string) *results.Set {
+		pr := &core.ParallelRunner{
+			New: func(k *sim.Kernel) *core.Runner {
+				cl := cluster.New(k, cluster.DefaultConfig(filers))
+				fsys := ontapgx.New(k, "gx", filers, ontapgx.DefaultConfig())
+				var paths []string
+				for i := 0; i < filers; i++ {
+					fsys.AddVolume(fmt.Sprintf("vol%d", i), i)
+					fsys.MountThrough(cl.Nodes[i], i)
+					if oneVolume {
+						paths = append(paths, "/vol0")
+					} else {
+						paths = append(paths, fmt.Sprintf("/vol%d", i))
+					}
+				}
+				return &core.Runner{
+					Cluster:      cl,
+					FS:           fsys,
+					Params:       core.Params{ProblemSize: 1200, PathList: paths, WorkDir: "/vol0"},
+					SlotsPerNode: 4,
+					Plugins:      []core.Plugin{core.MakeFiles{}},
+					Filter: func(c core.Combo) bool {
+						okNodes := c.Nodes == 1 || c.Nodes == 2 || c.Nodes == 4 || c.Nodes == filers
+						return okNodes && (c.PPN == 1 || c.PPN == 4)
+					},
+				}
 			},
+			Seed:  seed,
+			Label: label,
 		}
-		set, err := run.Run()
+		set, err := pr.Run()
 		if err != nil {
 			return nil
 		}
 		return set
 	}
-	perVol := scale(false, 1314)
-	oneVol := scale(true, 1315)
+
+	// Three top-level cells (the probe plus two nested 8-cell sweeps).
+	type e13cell struct {
+		a   e13a
+		set *results.Set
+	}
+	cells := parCells("E13", []string{"local-vs-remote", "per-node-volumes", "one-volume"},
+		func(i int) e13cell {
+			switch i {
+			case 0:
+				return e13cell{a: probeLocalRemote()}
+			case 1:
+				return e13cell{set: scale(false, 1314, "E13/per-node-volumes")}
+			default:
+				return e13cell{set: scale(true, 1315, "E13/one-volume")}
+			}
+		})
+	a := cells[0].a
+	if a.err != nil {
+		r.finding("run failed: %v", a.err)
+		return r
+	}
+	r.row("creates/s in local volume", a.local, "ops/s", "volume on mount filer")
+	r.row("creates/s in forwarded volume", a.remote, "ops/s", "via cluster interconnect")
+	r.row("remote efficiency", 100*a.remote/a.local, "%", "[ECK+07] claims ~75%")
+	r.row("forwarded requests", float64(a.forwards), "", "")
+	r.finding("paper/[ECK+07]: forwarding costs ~25%%; here remote volume "+
+		"runs at %.0f%% of local", 100*a.remote/a.local)
+
+	perVol, oneVol := cells[1].set, cells[2].set
 	if perVol == nil || oneVol == nil {
 		r.finding("scaling run failed")
 		return r
@@ -163,10 +196,40 @@ func E14AFS() *Report {
 		PaperRef: "§4.7.3"}
 	const problem = 800
 
-	warm, _ := afsRun(core.StatFiles{}, 1, problem, 1401)
-	nocache, cell := afsRun(core.StatNocacheFiles{}, 1, problem, 1402)
-	multi, _ := afsRun(core.StatMultinodeFiles{}, 2, problem, 1403)
-	creates, _ := afsRun(core.MakeFiles{}, 4, 600, 1404)
+	// Six cells: four AFS runs plus the two NFS contrast probes, each on
+	// its own kernel with the serial loop's seeds.
+	type e14cell struct {
+		set  *results.Set
+		cell *afs.FS
+		rate float64
+	}
+	cells := parCells("E14", []string{"afs-warm", "afs-nocache", "afs-multinode",
+		"afs-creates", "nfs-warm", "nfs-nocache"}, func(i int) e14cell {
+		switch i {
+		case 0:
+			s, c := afsRun(core.StatFiles{}, 1, problem, 1401)
+			return e14cell{set: s, cell: c}
+		case 1:
+			s, c := afsRun(core.StatNocacheFiles{}, 1, problem, 1402)
+			return e14cell{set: s, cell: c}
+		case 2:
+			s, c := afsRun(core.StatMultinodeFiles{}, 2, problem, 1403)
+			return e14cell{set: s, cell: c}
+		case 3:
+			s, c := afsRun(core.MakeFiles{}, 4, 600, 1404)
+			return e14cell{set: s, cell: c}
+		case 4:
+			return e14cell{rate: singleProcWall(func(k *sim.Kernel) core.FileSystem {
+				return nfs.New(k, "home", nfs.DefaultConfig())
+			}, core.StatFiles{}, problem, 1405)}
+		default:
+			return e14cell{rate: singleProcWall(func(k *sim.Kernel) core.FileSystem {
+				return nfs.New(k, "home", nfs.DefaultConfig())
+			}, core.StatNocacheFiles{}, problem, 1406)}
+		}
+	})
+	warm, nocache, multi, creates := cells[0].set, cells[1].set, cells[2].set, cells[3].set
+	cell := cells[1].cell
 	if warm == nil || nocache == nil || multi == nil || creates == nil {
 		r.finding("run failed")
 		return r
@@ -174,12 +237,7 @@ func E14AFS() *Report {
 	r.Sets = append(r.Sets, warm, nocache, multi, creates)
 
 	// NFS contrast: dropping caches forces RPCs.
-	nfsWarm := singleProcWall(func(k *sim.Kernel) core.FileSystem {
-		return nfs.New(k, "home", nfs.DefaultConfig())
-	}, core.StatFiles{}, problem, 1405)
-	nfsNoCache := singleProcWall(func(k *sim.Kernel) core.FileSystem {
-		return nfs.New(k, "home", nfs.DefaultConfig())
-	}, core.StatNocacheFiles{}, problem, 1406)
+	nfsWarm, nfsNoCache := cells[4].rate, cells[5].rate
 
 	aWarm := wallOf(warm, "StatFiles", 1, 1)
 	aNo := wallOf(nocache, "StatNocacheFiles", 1, 1)

@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"time"
+
+	"dmetabench/internal/par"
+)
+
+// Every experiment below decomposes into cells: independent units of
+// simulated work (one seeded kernel run or one derived data point) that
+// fan out across the par worker pool and merge in declaration order.
+// Each cell writes only its own slot of the result slice, so the
+// assembled report is byte-identical at any worker count; shared seeds
+// are passed into cells explicitly, never drawn from shared state.
+// cmd/experiments -j sets the pool size, -cells prints the recorded
+// per-cell wall-clock timings.
+
+// parCells runs one cell per name across the worker pool and returns
+// the results in cell order. Timings are recorded as "<expID>/<name>".
+func parCells[T any](expID string, names []string, run func(i int) T) []T {
+	out := make([]T, len(names))
+	par.Do(len(names), func(i int) {
+		start := time.Now()
+		out[i] = run(i)
+		par.RecordTiming(expID+"/"+names[i], time.Since(start))
+	})
+	return out
+}

@@ -73,33 +73,55 @@ func E22LeaseTTL() *Report {
 	r := &Report{ID: "E22", Title: "Lease TTL sweep: hit rate vs. revocation traffic",
 		PaperRef: "beyond §2.1.2 (callback coherence; MetaFlow/HopsFS direction)"}
 	plugin := e22Load(1.8)
-	var xs, ys []float64
-	var firstHit, lastHit, firstRev, lastRev float64
-	for _, ttl := range []time.Duration{25 * time.Millisecond, 100 * time.Millisecond,
-		500 * time.Millisecond, 4 * time.Second} {
+	ttls := []time.Duration{25 * time.Millisecond, 100 * time.Millisecond,
+		500 * time.Millisecond, 4 * time.Second}
+	// One cell per lease TTL, all with the same seed (the E16 sweep
+	// discipline: TTL is the only variable).
+	type e22cell struct {
+		set         *results.Set
+		hr, rate    float64
+		revocations int64
+		grants      int64
+		stale       int64
+	}
+	names := make([]string, len(ttls))
+	for i, ttl := range ttls {
+		names[i] = ttl.String()
+	}
+	cells := parCells("E22", names, func(i int) e22cell {
 		cfg := shard.DefaultConfig(4)
 		cfg.CacheMode = shard.CacheLease
-		cfg.LeaseTTL = ttl
+		cfg.LeaseTTL = ttls[i]
 		cfg.TrackStaleness = true
 		set, fsys := runCoherence(2200, cfg, plugin, 8000)
 		if set == nil {
+			return e22cell{}
+		}
+		hits, misses, _, _ := fsys.CacheStats()
+		return e22cell{set: set, hr: hitRate(hits, misses),
+			rate:        wallOf(set, plugin.Name(), 8, 2),
+			revocations: fsys.Revocations, grants: fsys.LeaseGrants,
+			stale: fsys.StaleReads}
+	})
+	var xs, ys []float64
+	var firstHit, lastHit, firstRev, lastRev float64
+	for i, ttl := range ttls {
+		c := cells[i]
+		if c.set == nil {
 			r.finding("run failed at TTL %v", ttl)
 			return r
 		}
-		r.Sets = append(r.Sets, set)
-		hits, misses, _, _ := fsys.CacheStats()
-		hr := hitRate(hits, misses)
-		rate := wallOf(set, plugin.Name(), 8, 2)
+		r.Sets = append(r.Sets, c.set)
 		xs = append(xs, ttl.Seconds())
-		ys = append(ys, hr)
+		ys = append(ys, c.hr)
 		if len(xs) == 1 {
-			firstHit, firstRev = hr, float64(fsys.Revocations)
+			firstHit, firstRev = c.hr, float64(c.revocations)
 		}
-		lastHit, lastRev = hr, float64(fsys.Revocations)
-		r.row(fmt.Sprintf("lease %5s: hit rate", ttl), hr, "%",
-			fmt.Sprintf("%.0f stats/s", rate))
-		r.row(fmt.Sprintf("lease %5s: revocations", ttl), float64(fsys.Revocations), "",
-			fmt.Sprintf("%d grants, %d stale reads", fsys.LeaseGrants, fsys.StaleReads))
+		lastHit, lastRev = c.hr, float64(c.revocations)
+		r.row(fmt.Sprintf("lease %5s: hit rate", ttl), c.hr, "%",
+			fmt.Sprintf("%.0f stats/s", c.rate))
+		r.row(fmt.Sprintf("lease %5s: revocations", ttl), float64(c.revocations), "",
+			fmt.Sprintf("%d grants, %d stale reads", c.grants, c.stale))
 	}
 	r.finding("the lease TTL buys hit rate with revocation traffic: %.0f%% -> %.0f%% "+
 		"hits from 25ms to 4s leases while callbacks grow %.0f -> %.0f (longer "+
@@ -129,7 +151,10 @@ func E23CacheModes() *Report {
 	type cell struct {
 		rate, hit float64
 		stale     int64
+		set       *results.Set
 	}
+	// measure is one cell on its own kernel; sets are collected in cell
+	// order by the merge below.
 	measure := func(n int, mode shard.CacheMode, attrTTL time.Duration, seed int64) cell {
 		cfg := shard.DefaultConfig(n)
 		cfg.CacheMode = mode
@@ -144,22 +169,44 @@ func E23CacheModes() *Report {
 		if set == nil {
 			return cell{}
 		}
-		r.Sets = append(r.Sets, set)
 		hits, misses, _, _ := fsys.CacheStats()
 		return cell{
 			rate:  wallOf(set, plugin.Name(), 8, 2),
 			hit:   hitRate(hits, misses),
 			stale: fsys.StaleReads,
+			set:   set,
 		}
 	}
 	shardCounts := []int{1, 2, 4, 8}
+	// 13 cells: (lease, ttl, none) per shard count plus the
+	// hit-rate-matched TTL cell at 4 shards.
+	modes := []struct {
+		tag  string
+		mode shard.CacheMode
+	}{{"lease", shard.CacheLease}, {"ttl", shard.CacheTTL}, {"none", shard.CacheNone}}
+	var names []string
+	for _, n := range shardCounts {
+		for _, m := range modes {
+			names = append(names, fmt.Sprintf("%dshards-%s", n, m.tag))
+		}
+	}
+	names = append(names, "4shards-ttl2ms")
+	cells := parCells("E23", names, func(i int) cell {
+		if i == len(names)-1 {
+			return measure(4, shard.CacheTTL, 2*time.Millisecond, 2340)
+		}
+		si, mi := i/len(modes), i%len(modes)
+		return measure(shardCounts[si], modes[mi].mode, 0, int64(2300+10*si+mi))
+	})
+	for _, c := range cells {
+		if c.set != nil {
+			r.Sets = append(r.Sets, c.set)
+		}
+	}
 	var xs, leaseY, ttlY, noneY []float64
 	var lease4, ttl4 cell
 	for i, n := range shardCounts {
-		seed := int64(2300 + 10*i)
-		lease := measure(n, shard.CacheLease, 0, seed)
-		ttl := measure(n, shard.CacheTTL, 0, seed+1)
-		none := measure(n, shard.CacheNone, 0, seed+2)
+		lease, ttl, none := cells[3*i], cells[3*i+1], cells[3*i+2]
 		if lease.rate == 0 || ttl.rate == 0 || none.rate == 0 {
 			r.finding("run failed at %d shards", n)
 			return r
@@ -181,7 +228,7 @@ func E23CacheModes() *Report {
 	// ~2ms mutation interval reaches the coherent cache's hit rate and
 	// still serves stale hits, because hot files are revisited faster
 	// than they are mutated.
-	matched := measure(4, shard.CacheTTL, 2*time.Millisecond, 2340)
+	matched := cells[len(cells)-1]
 	if matched.rate == 0 {
 		r.finding("run failed for the hit-rate-matched TTL cell")
 		return r
@@ -258,8 +305,18 @@ func E24FailoverCachedLoad() *Report {
 		}
 		return set.Find("StatMutateFiles", 8, 2), set, fsys
 	}
-	inval, iset, ifs := run(2400, true)
-	stale, sset, sfs := run(2401, false)
+	// Two cells: with and without crash-time lease invalidation.
+	type e24cell struct {
+		m   *results.Measurement
+		set *results.Set
+		fs  *shard.FS
+	}
+	cells := parCells("E24", []string{"invalidate", "no-invalidate"}, func(i int) e24cell {
+		m, set, fsys := run(int64(2400+i), i == 0)
+		return e24cell{m, set, fsys}
+	})
+	inval, iset, ifs := cells[0].m, cells[0].set, cells[0].fs
+	stale, sset, sfs := cells[1].m, cells[1].set, cells[1].fs
 	if inval == nil || stale == nil || len(ifs.Takeovers) == 0 || len(sfs.Takeovers) == 0 {
 		r.finding("run failed")
 		return r

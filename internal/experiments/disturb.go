@@ -42,6 +42,25 @@ func nfsMakeFilesRun(seed int64, nodes int, window time.Duration,
 	return set.Find("MakeFiles", nodes, 1), set
 }
 
+// nfsRun is one nfsMakeFilesRun cell's result. Every disturbance
+// experiment pairs a clean cell with a disturbed cell; the two runs
+// share a seed but nothing else, so they fan out independently.
+type nfsRun struct {
+	m   *results.Measurement
+	set *results.Set
+}
+
+// nfsCells runs one nfsMakeFilesRun per hook (nil hook = clean run) as
+// parallel cells, all with the same seed, nodes and window.
+func nfsCells(expID string, seed int64, nodes int, window time.Duration,
+	names []string, hooks []func(cl *cluster.Cluster, fsys *nfs.FS, mp *sim.Proc)) []nfsRun {
+
+	return parCells(expID, names, func(i int) nfsRun {
+		m, set := nfsMakeFilesRun(seed, nodes, window, hooks[i])
+		return nfsRun{m, set}
+	})
+}
+
 // E03CPUHogCOV reproduces Fig. 4.4: a CPU-bound disturbance on one of
 // four client nodes shows up as a throughput dip and a step in the COV of
 // per-process performance.
@@ -51,11 +70,14 @@ func E03CPUHogCOV() *Report {
 	const window = 30 * time.Second
 	hogFrom, hogTo := 10*time.Second, 16*time.Second
 
-	clean, _ := nfsMakeFilesRun(101, 4, window, nil)
-	hogged, set := nfsMakeFilesRun(101, 4, window,
-		func(cl *cluster.Cluster, _ *nfs.FS, mp *sim.Proc) {
-			cl.Nodes[2].StartCPUHog(24, 0, mp.Now()+hogFrom, hogTo-hogFrom)
+	runs := nfsCells("E03", 101, 4, window, []string{"clean", "hogged"},
+		[]func(cl *cluster.Cluster, fsys *nfs.FS, mp *sim.Proc){
+			nil,
+			func(cl *cluster.Cluster, _ *nfs.FS, mp *sim.Proc) {
+				cl.Nodes[2].StartCPUHog(24, 0, mp.Now()+hogFrom, hogTo-hogFrom)
+			},
 		})
+	clean, hogged, set := runs[0].m, runs[1].m, runs[1].set
 	if clean == nil || hogged == nil {
 		r.finding("run failed")
 		return r
@@ -88,14 +110,17 @@ func E04SnapshotNoise() *Report {
 	const window = 30 * time.Second
 	snapAt, snapLen := 9*time.Second, 10*time.Second
 
-	clean, _ := nfsMakeFilesRun(202, 4, window, nil)
-	snappy, set := nfsMakeFilesRun(202, 4, window,
-		func(_ *cluster.Cluster, fsys *nfs.FS, mp *sim.Proc) {
-			mp.Spawn("snapshotter", func(p *sim.Proc) {
-				p.Sleep(snapAt)
-				fsys.WAFL().TriggerSnapshots(snapLen)
-			})
+	runs := nfsCells("E04", 202, 4, window, []string{"clean", "snapshots"},
+		[]func(cl *cluster.Cluster, fsys *nfs.FS, mp *sim.Proc){
+			nil,
+			func(_ *cluster.Cluster, fsys *nfs.FS, mp *sim.Proc) {
+				mp.Spawn("snapshotter", func(p *sim.Proc) {
+					p.Sleep(snapAt)
+					fsys.WAFL().TriggerSnapshots(snapLen)
+				})
+			},
 		})
+	clean, snappy, set := runs[0].m, runs[1].m, runs[1].set
 	if clean == nil || snappy == nil {
 		r.finding("run failed")
 		return r
@@ -126,18 +151,22 @@ func E05ConsistencyPoints() *Report {
 		PaperRef: "Fig. 4.6"}
 	const window = 22 * time.Second
 
+	// cps is written only by the clean cell; parCells has joined every
+	// cell before it is read below.
 	var cps int
-	clean, set := nfsMakeFilesRun(303, 20, window,
-		func(_ *cluster.Cluster, fsys *nfs.FS, mp *sim.Proc) {
-			mp.Spawn("cp-counter", func(p *sim.Proc) {
-				p.Sleep(window)
-				cps = fsys.WAFL().NumCPs()
-			})
+	runs := nfsCells("E05", 303, 20, window, []string{"clean", "hogged"},
+		[]func(cl *cluster.Cluster, fsys *nfs.FS, mp *sim.Proc){
+			func(_ *cluster.Cluster, fsys *nfs.FS, mp *sim.Proc) {
+				mp.Spawn("cp-counter", func(p *sim.Proc) {
+					p.Sleep(window)
+					cps = fsys.WAFL().NumCPs()
+				})
+			},
+			func(cl *cluster.Cluster, _ *nfs.FS, mp *sim.Proc) {
+				cl.Nodes[5].StartCPUHog(24, 0, mp.Now()+4*time.Second, 6*time.Second)
+			},
 		})
-	hogged, _ := nfsMakeFilesRun(303, 20, window,
-		func(cl *cluster.Cluster, _ *nfs.FS, mp *sim.Proc) {
-			cl.Nodes[5].StartCPUHog(24, 0, mp.Now()+4*time.Second, 6*time.Second)
-		})
+	clean, hogged, set := runs[0].m, runs[1].m, runs[0].set
 	if clean == nil || hogged == nil {
 		r.finding("run failed")
 		return r
@@ -184,30 +213,33 @@ func E06WriteInterference() *Report {
 		PaperRef: "Fig. 4.7"}
 	const window = 20 * time.Second
 
-	clean, _ := nfsMakeFilesRun(404, 20, window, nil)
-	disturbed, set := nfsMakeFilesRun(404, 20, window,
-		func(cl *cluster.Cluster, fsys *nfs.FS, mp *sim.Proc) {
-			writer := cl.Nodes[len(cl.Nodes)-1]
-			mp.Spawn("bulk-writer", func(p *sim.Proc) {
-				c := fsys.NewClient(writer, p)
-				for i, at := range []time.Duration{5 * time.Second, 13 * time.Second} {
-					if d := at - p.Now(); d > 0 {
-						p.Sleep(d)
+	runs := nfsCells("E06", 404, 20, window, []string{"clean", "bulk-write"},
+		[]func(cl *cluster.Cluster, fsys *nfs.FS, mp *sim.Proc){
+			nil,
+			func(cl *cluster.Cluster, fsys *nfs.FS, mp *sim.Proc) {
+				writer := cl.Nodes[len(cl.Nodes)-1]
+				mp.Spawn("bulk-writer", func(p *sim.Proc) {
+					c := fsys.NewClient(writer, p)
+					for i, at := range []time.Duration{5 * time.Second, 13 * time.Second} {
+						if d := at - p.Now(); d > 0 {
+							p.Sleep(d)
+						}
+						name := "/bigfile" + string(rune('a'+i))
+						if err := c.Create(name); err != nil {
+							return
+						}
+						h, err := c.Open(name)
+						if err != nil {
+							return
+						}
+						c.Write(h, 200<<20)
+						c.Close(h) // flush: occupies the filer for seconds
+						c.Unlink(name)
 					}
-					name := "/bigfile" + string(rune('a'+i))
-					if err := c.Create(name); err != nil {
-						return
-					}
-					h, err := c.Open(name)
-					if err != nil {
-						return
-					}
-					c.Write(h, 200<<20)
-					c.Close(h) // flush: occupies the filer for seconds
-					c.Unlink(name)
-				}
-			})
+				})
+			},
 		})
+	clean, disturbed, set := runs[0].m, runs[1].m, runs[1].set
 	if clean == nil || disturbed == nil {
 		r.finding("run failed")
 		return r

@@ -74,42 +74,46 @@ func (r *Report) String() string {
 	return b.String()
 }
 
-// Experiment pairs an id with its runner.
+// Experiment pairs an id with its runner. Cells is the number of
+// independent execution cells the experiment decomposes into — the
+// parallelism it exposes to the par worker pool (1 = inherently serial;
+// it still runs concurrently with other experiments in the suite).
 type Experiment struct {
-	ID  string
-	Run func() *Report
+	ID    string
+	Run   func() *Report
+	Cells int
 }
 
 // All lists every experiment in evaluation order.
 func All() []Experiment {
 	return []Experiment{
-		{"E01", E01SyscallCounts},
-		{"E02", E02HarnessOverhead},
-		{"E03", E03CPUHogCOV},
-		{"E04", E04SnapshotNoise},
-		{"E05", E05ConsistencyPoints},
-		{"E06", E06WriteInterference},
-		{"E07", E07CreateScaling},
-		{"E08", E08LargeDirectories},
-		{"E09", E09AllocationBursts},
-		{"E10", E10PriorityScheduling},
-		{"E11", E11SMPScaling},
-		{"E12", E12LatencySweep},
-		{"E13", E13NamespaceAggregation},
-		{"E14", E14AFS},
-		{"E15", E15WritebackCaching},
-		{"E16", E16ShardScaling},
-		{"E17", E17ShardSkew},
-		{"E18", E18CrossShard},
-		{"E19", E19FailoverTimeline},
-		{"E20", E20ReplicationOverhead},
-		{"E21", E21RecoveryScaling},
-		{"E22", E22LeaseTTL},
-		{"E23", E23CacheModes},
-		{"E24", E24FailoverCachedLoad},
-		{"E25", E25SplitScaling},
-		{"E26", E26SplitStorm},
-		{"E27", E27SplitRouting},
+		{"E01", E01SyscallCounts, 2},
+		{"E02", E02HarnessOverhead, 1}, // real-time: must not share the host
+		{"E03", E03CPUHogCOV, 2},
+		{"E04", E04SnapshotNoise, 2},
+		{"E05", E05ConsistencyPoints, 2},
+		{"E06", E06WriteInterference, 2},
+		{"E07", E07CreateScaling, 16}, // 2 file systems x 8 sweep points
+		{"E08", E08LargeDirectories, 11},
+		{"E09", E09AllocationBursts, 1},
+		{"E10", E10PriorityScheduling, 1},
+		{"E11", E11SMPScaling, 12}, // 2 file systems x 6 PPN points
+		{"E12", E12LatencySweep, 15},
+		{"E13", E13NamespaceAggregation, 17}, // probe + 2 sweeps x 8 points
+		{"E14", E14AFS, 6},
+		{"E15", E15WritebackCaching, 2},
+		{"E16", E16ShardScaling, 5},
+		{"E17", E17ShardSkew, 4},
+		{"E18", E18CrossShard, 2},
+		{"E19", E19FailoverTimeline, 2},
+		{"E20", E20ReplicationOverhead, 6},
+		{"E21", E21RecoveryScaling, 4},
+		{"E22", E22LeaseTTL, 4},
+		{"E23", E23CacheModes, 13},
+		{"E24", E24FailoverCachedLoad, 2},
+		{"E25", E25SplitScaling, 10},
+		{"E26", E26SplitStorm, 3},
+		{"E27", E27SplitRouting, 7},
 	}
 }
 

@@ -94,8 +94,19 @@ func E19FailoverTimeline() *Report {
 			plan.Start(mp, fsys)
 		})
 	}
-	single, sset, _ := run(1900, false)
-	repl, rset, rfs := run(1901, true)
+	// Two cells: the unreplicated and the replicated run, each with its
+	// own kernel and fault-plan instance.
+	type e19cell struct {
+		m   *results.Measurement
+		set *results.Set
+		fs  *shard.FS
+	}
+	cells := parCells("E19", []string{"single", "replicated"}, func(i int) e19cell {
+		m, set, fsys := run(int64(1900+i), i == 1)
+		return e19cell{m, set, fsys}
+	})
+	single, sset := cells[0].m, cells[0].set
+	repl, rset, rfs := cells[1].m, cells[1].set, cells[1].fs
 	if single == nil || repl == nil {
 		r.finding("run failed")
 		return r
@@ -149,26 +160,41 @@ func E20ReplicationOverhead() *Report {
 	r := &Report{ID: "E20", Title: "Replication overhead: creates/s with and without a synchronous backup",
 		PaperRef: "beyond §4.3 (cost of HopsFS-style availability)"}
 	plugin := e16Workload(0)
+	shardCounts := []int{2, 4, 8}
+	// One cell per (shard count, replication) pair — 6 independent runs.
+	type e20cell struct {
+		set     *results.Set
+		rate    float64
+		mirrors int64
+	}
+	names := make([]string, 0, 2*len(shardCounts))
+	for _, n := range shardCounts {
+		names = append(names, fmt.Sprintf("%dshards-plain", n), fmt.Sprintf("%dshards-repl", n))
+	}
+	cells := parCells("E20", names, func(i int) e20cell {
+		cfg := shard.DefaultConfig(shardCounts[i/2])
+		cfg.Replicate = i%2 == 1
+		set, fsys := runSharded(2000, cfg, plugin, 400)
+		if set == nil {
+			return e20cell{}
+		}
+		return e20cell{set: set, rate: wallOf(set, plugin.Name(), 16, 4), mirrors: fsys.MirrorCount}
+	})
 	var xs, plainY, replY []float64
-	for _, n := range []int{2, 4, 8} {
-		cfg := shard.DefaultConfig(n)
-		set, _ := runSharded(2000, cfg, plugin, 400)
-		cfg.Replicate = true
-		rset, rfs := runSharded(2000, cfg, plugin, 400)
-		if set == nil || rset == nil {
+	for i, n := range shardCounts {
+		plain, repl := cells[2*i], cells[2*i+1]
+		if plain.set == nil || repl.set == nil {
 			r.finding("run failed at %d shards", n)
 			return r
 		}
-		r.Sets = append(r.Sets, set, rset)
-		plain := wallOf(set, plugin.Name(), 16, 4)
-		repl := wallOf(rset, plugin.Name(), 16, 4)
+		r.Sets = append(r.Sets, plain.set, repl.set)
 		xs = append(xs, float64(n))
-		plainY = append(plainY, plain)
-		replY = append(replY, repl)
-		r.row(fmt.Sprintf("creates/s @ %d shards, plain", n), plain, "ops/s", "")
-		r.row(fmt.Sprintf("creates/s @ %d shards, replicated", n), repl, "ops/s",
-			fmt.Sprintf("%d mirrors", rfs.MirrorCount))
-		r.row(fmt.Sprintf("replication cost @ %d shards", n), 100*(1-repl/plain), "%", "")
+		plainY = append(plainY, plain.rate)
+		replY = append(replY, repl.rate)
+		r.row(fmt.Sprintf("creates/s @ %d shards, plain", n), plain.rate, "ops/s", "")
+		r.row(fmt.Sprintf("creates/s @ %d shards, replicated", n), repl.rate, "ops/s",
+			fmt.Sprintf("%d mirrors", repl.mirrors))
+		r.row(fmt.Sprintf("replication cost @ %d shards", n), 100*(1-repl.rate/plain.rate), "%", "")
 	}
 	last := len(xs) - 1
 	r.finding("synchronous backup mirroring costs %.0f%%..%.0f%% of create throughput "+
@@ -236,10 +262,26 @@ func E21RecoveryScaling() *Report {
 		return fsys.Takeovers[0], observed, true
 	}
 
+	// One probe cell per journal length.
+	fileCounts := []int{0, 1000, 4000, 16000}
+	type e21cell struct {
+		to       shard.Takeover
+		observed time.Duration
+		ok       bool
+	}
+	names := make([]string, len(fileCounts))
+	for i, files := range fileCounts {
+		names[i] = fmt.Sprintf("%dfiles", files)
+	}
+	cells := parCells("E21", names, func(i int) e21cell {
+		to, observed, ok := probe(fileCounts[i])
+		return e21cell{to, observed, ok}
+	})
+
 	var xs, ys []float64
 	var floor, top time.Duration
-	for _, files := range []int{0, 1000, 4000, 16000} {
-		to, observed, ok := probe(files)
+	for i, files := range fileCounts {
+		to, observed, ok := cells[i].to, cells[i].observed, cells[i].ok
 		if !ok {
 			r.finding("probe failed at %d files", files)
 			return r

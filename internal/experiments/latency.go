@@ -71,31 +71,50 @@ func singleProcTimed(mk func(k *sim.Kernel) core.FileSystem, plugin core.Plugin,
 func E12LatencySweep() *Report {
 	r := &Report{ID: "E12", Title: "Metadata throughput vs. network latency",
 		PaperRef: "§4.6"}
-	var xs, nfsCreate, nfsStatNC, wbCreate []float64
-	for i, lat := range e12Latencies {
-		lat := lat
+	// One cell per (latency, measurement) point — 15 in all, each on its
+	// own kernel with its own seed, exactly as the serial loop seeded them.
+	const perLat = 3
+	names := make([]string, 0, len(e12Latencies)*perLat)
+	for _, lat := range e12Latencies {
+		rtt := (2 * lat).Seconds() * 1000
+		names = append(names,
+			fmt.Sprintf("rtt%.1fms-nfs-create", rtt),
+			fmt.Sprintf("rtt%.1fms-nfs-statnc", rtt),
+			fmt.Sprintf("rtt%.1fms-wb-create", rtt))
+	}
+	vals := parCells("E12", names, func(i int) float64 {
+		lat := e12Latencies[i/perLat]
+		seed := int64(1200 + 10*(i/perLat))
 		nfsMk := func(k *sim.Kernel) core.FileSystem {
 			cfg := nfs.DefaultConfig()
 			cfg.OneWayLatency = lat
 			return nfs.New(k, "home", cfg)
 		}
-		wbMk := func(k *sim.Kernel) core.FileSystem {
-			cfg := lustre.DefaultConfig()
-			cfg.OneWayLatency = lat
-			cfg.Writeback = true
-			return lustre.New(k, "scratch", cfg)
+		switch i % perLat {
+		case 0:
+			return singleProcWall(nfsMk, core.MakeFiles{}, 500, seed)
+		case 1:
+			return singleProcWall(nfsMk, core.StatNocacheFiles{}, 500, seed+1)
+		default:
+			return singleProcTimed(func(k *sim.Kernel) core.FileSystem {
+				cfg := lustre.DefaultConfig()
+				cfg.OneWayLatency = lat
+				cfg.Writeback = true
+				return lustre.New(k, "scratch", cfg)
+			}, core.MakeFiles{}, time.Second, seed+2)
 		}
-		seed := int64(1200 + 10*i)
-		c := singleProcWall(nfsMk, core.MakeFiles{}, 500, seed)
-		s := singleProcWall(nfsMk, core.StatNocacheFiles{}, 500, seed+1)
-		w := singleProcTimed(wbMk, core.MakeFiles{}, time.Second, seed+2)
-		xs = append(xs, (2*lat).Seconds()*1000) // RTT in ms
+	})
+	var xs, nfsCreate, nfsStatNC, wbCreate []float64
+	for i, lat := range e12Latencies {
+		rtt := (2 * lat).Seconds() * 1000
+		c, s, w := vals[i*perLat], vals[i*perLat+1], vals[i*perLat+2]
+		xs = append(xs, rtt) // RTT in ms
 		nfsCreate = append(nfsCreate, c)
 		nfsStatNC = append(nfsStatNC, s)
 		wbCreate = append(wbCreate, w)
-		r.row(fmt.Sprintf("RTT %.1fms: NFS creates", (2*lat).Seconds()*1000), c, "ops/s", "")
-		r.row(fmt.Sprintf("RTT %.1fms: NFS stat (no cache)", (2*lat).Seconds()*1000), s, "ops/s", "")
-		r.row(fmt.Sprintf("RTT %.1fms: write-back creates", (2*lat).Seconds()*1000), w, "ops/s", "")
+		r.row(fmt.Sprintf("RTT %.1fms: NFS creates", rtt), c, "ops/s", "")
+		r.row(fmt.Sprintf("RTT %.1fms: NFS stat (no cache)", rtt), s, "ops/s", "")
+		r.row(fmt.Sprintf("RTT %.1fms: write-back creates", rtt), w, "ops/s", "")
 	}
 	if nfsCreate[0] > 0 && wbCreate[len(wbCreate)-1] > 0 {
 		nfsDrop := nfsCreate[0] / nfsCreate[len(nfsCreate)-1]

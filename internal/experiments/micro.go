@@ -96,19 +96,30 @@ func E01SyscallCounts() *Report {
 		PaperRef: "§4.2.1 (dtrace op counting)"}
 	const n = 10000
 
-	naive := fs.NewCountingClient(newNullClient())
-	for i := 0; i < n; i++ {
-		if err := fs.CreateHighLevel(naive, fmt.Sprintf("/f%d", i)); err != nil {
-			r.finding("high-level create failed: %v", err)
-			return r
-		}
+	// Two independent cells, one per API style, each over its own
+	// namespace and counter.
+	type countRun struct {
+		c   *fs.CountingClient
+		err error
 	}
-	direct := fs.NewCountingClient(newNullClient())
-	for i := 0; i < n; i++ {
-		if err := fs.CreateDirect(direct, fmt.Sprintf("/f%d", i)); err != nil {
-			r.finding("direct create failed: %v", err)
-			return r
+	create := []func(fs.Client, string) error{fs.CreateHighLevel, fs.CreateDirect}
+	cells := parCells("E01", []string{"high-level", "direct"}, func(i int) countRun {
+		c := fs.NewCountingClient(newNullClient())
+		for j := 0; j < n; j++ {
+			if err := create[i](c, fmt.Sprintf("/f%d", j)); err != nil {
+				return countRun{c, err}
+			}
 		}
+		return countRun{c, nil}
+	})
+	naive, direct := cells[0].c, cells[1].c
+	if cells[0].err != nil {
+		r.finding("high-level create failed: %v", cells[0].err)
+		return r
+	}
+	if cells[1].err != nil {
+		r.finding("direct create failed: %v", cells[1].err)
+		return r
 	}
 	r.row("high-level: stat ops", float64(naive.N.Get(fs.OpStat)), "calls", "extra stat per file, like Python file objects")
 	r.row("high-level: open ops", float64(naive.N.Get(fs.OpOpen)), "calls", "")
@@ -126,6 +137,11 @@ func E01SyscallCounts() *Report {
 // E02HarnessOverhead reproduces Table 4.2 (Python-vs-C loop overhead):
 // the fixed per-operation cost the benchmark harness adds over a raw
 // create loop, measured in real time on a zero-cost file system.
+//
+// This is the one experiment that stays a single cell: it times real
+// host CPU, so its two loops must run back-to-back on one goroutine;
+// splitting them into concurrent cells would let pool neighbors steal
+// cycles from the thing being measured. The report is Volatile anyway.
 func E02HarnessOverhead() *Report {
 	r := &Report{ID: "E02", Title: "Harness overhead vs. raw loop",
 		PaperRef: "Table 4.2 (Python vs. C, 200k creates)", Volatile: true}

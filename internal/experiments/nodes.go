@@ -81,20 +81,26 @@ func E10PriorityScheduling() *Report {
 // e11PPNs are the intra-node process counts of the SMP sweep.
 var e11PPNs = map[int]bool{1: true, 2: true, 4: true, 8: true, 16: true, 32: true}
 
-func runSMP(mk func(k *sim.Kernel) core.FileSystem, seed int64) *results.Set {
-	k := sim.New(seed)
-	cl := cluster.NewSMP(k, 64)
-	r := &core.Runner{
-		Cluster:      cl,
-		FS:           mk(k),
-		Params:       core.Params{ProblemSize: 1200, WorkDir: "/bench"},
-		SlotsPerNode: 32,
-		Plugins:      []core.Plugin{core.MakeFiles{}},
-		Filter: func(c core.Combo) bool {
-			return c.Nodes == 1 && e11PPNs[c.PPN]
+// runSMP sweeps intra-node process counts with one cell per PPN point,
+// each on its own identically-seeded kernel (core.ParallelRunner).
+func runSMP(mk func(k *sim.Kernel) core.FileSystem, seed int64, label string) *results.Set {
+	pr := &core.ParallelRunner{
+		New: func(k *sim.Kernel) *core.Runner {
+			return &core.Runner{
+				Cluster:      cluster.NewSMP(k, 64),
+				FS:           mk(k),
+				Params:       core.Params{ProblemSize: 1200, WorkDir: "/bench"},
+				SlotsPerNode: 32,
+				Plugins:      []core.Plugin{core.MakeFiles{}},
+				Filter: func(c core.Combo) bool {
+					return c.Nodes == 1 && e11PPNs[c.PPN]
+				},
+			}
 		},
+		Seed:  seed,
+		Label: label,
 	}
-	set, err := r.Run()
+	set, err := pr.Run()
 	if err != nil {
 		return nil
 	}
@@ -107,12 +113,17 @@ func runSMP(mk func(k *sim.Kernel) core.FileSystem, seed int64) *results.Set {
 func E11SMPScaling() *Report {
 	r := &Report{ID: "E11", Title: "Large-SMP intra-node scaling: CXFS vs NFS",
 		PaperRef: "§4.5.3"}
-	nfsSet := runSMP(func(k *sim.Kernel) core.FileSystem {
-		return nfs.New(k, "home", nfs.DefaultConfig())
-	}, 1111)
-	cxSet := runSMP(func(k *sim.Kernel) core.FileSystem {
-		return cxfs.New(k, "cxfs", cxfs.DefaultConfig())
-	}, 1112)
+	sets := parCells("E11", []string{"nfs", "cxfs"}, func(i int) *results.Set {
+		if i == 0 {
+			return runSMP(func(k *sim.Kernel) core.FileSystem {
+				return nfs.New(k, "home", nfs.DefaultConfig())
+			}, 1111, "E11/nfs")
+		}
+		return runSMP(func(k *sim.Kernel) core.FileSystem {
+			return cxfs.New(k, "cxfs", cxfs.DefaultConfig())
+		}, 1112, "E11/cxfs")
+	})
+	nfsSet, cxSet := sets[0], sets[1]
 	if nfsSet == nil || cxSet == nil {
 		r.finding("run failed")
 		return r

@@ -17,23 +17,31 @@ import (
 // e07Nodes are the node counts of the create-scaling sweep.
 var e07Nodes = map[int]bool{1: true, 2: true, 4: true, 8: true, 12: true, 16: true}
 
-func runCreateScaling(mk func(k *sim.Kernel) core.FileSystem, seed int64) *results.Set {
-	k := sim.New(seed)
-	cl := cluster.New(k, cluster.DefaultConfig(16))
-	r := &core.Runner{
-		Cluster:      cl,
-		FS:           mk(k),
-		Params:       core.Params{ProblemSize: 2000, WorkDir: "/bench"},
-		SlotsPerNode: 4,
-		Plugins:      []core.Plugin{core.MakeFiles{}},
-		Filter: func(c core.Combo) bool {
-			if c.PPN == 1 {
-				return e07Nodes[c.Nodes]
+// runCreateScaling sweeps the create-scaling plan with one cell per
+// (nodes, ppn) point: every cell gets a fresh, identically-seeded
+// kernel (core.ParallelRunner), so sweep points are independent and
+// fan out across the worker pool.
+func runCreateScaling(mk func(k *sim.Kernel) core.FileSystem, seed int64, label string) *results.Set {
+	pr := &core.ParallelRunner{
+		New: func(k *sim.Kernel) *core.Runner {
+			return &core.Runner{
+				Cluster:      cluster.New(k, cluster.DefaultConfig(16)),
+				FS:           mk(k),
+				Params:       core.Params{ProblemSize: 2000, WorkDir: "/bench"},
+				SlotsPerNode: 4,
+				Plugins:      []core.Plugin{core.MakeFiles{}},
+				Filter: func(c core.Combo) bool {
+					if c.PPN == 1 {
+						return e07Nodes[c.Nodes]
+					}
+					return c.Nodes == 16 && (c.PPN == 2 || c.PPN == 4)
+				},
 			}
-			return c.Nodes == 16 && (c.PPN == 2 || c.PPN == 4)
 		},
+		Seed:  seed,
+		Label: label,
 	}
-	set, err := r.Run()
+	set, err := pr.Run()
 	if err != nil {
 		return nil
 	}
@@ -46,12 +54,19 @@ func runCreateScaling(mk func(k *sim.Kernel) core.FileSystem, seed int64) *resul
 func E07CreateScaling() *Report {
 	r := &Report{ID: "E07", Title: "NFS vs Lustre file creation scaling",
 		PaperRef: "§4.3.2"}
-	nfsSet := runCreateScaling(func(k *sim.Kernel) core.FileSystem {
-		return nfs.New(k, "home", nfs.DefaultConfig())
-	}, 707)
-	lusSet := runCreateScaling(func(k *sim.Kernel) core.FileSystem {
-		return lustre.New(k, "scratch", lustre.DefaultConfig())
-	}, 708)
+	// Two nested fan-outs (one per file system), 8 sweep cells each; the
+	// pool interleaves all 16 cells freely.
+	sets := parCells("E07", []string{"nfs", "lustre"}, func(i int) *results.Set {
+		if i == 0 {
+			return runCreateScaling(func(k *sim.Kernel) core.FileSystem {
+				return nfs.New(k, "home", nfs.DefaultConfig())
+			}, 707, "E07/nfs")
+		}
+		return runCreateScaling(func(k *sim.Kernel) core.FileSystem {
+			return lustre.New(k, "scratch", lustre.DefaultConfig())
+		}, 708, "E07/lustre")
+	})
+	nfsSet, lusSet := sets[0], sets[1]
 	if nfsSet == nil || lusSet == nil {
 		r.finding("run failed")
 		return r
@@ -150,25 +165,9 @@ func E08LargeDirectories() *Report {
 			return lustre.New(k, "scratch", lustre.DefaultConfig())
 		}},
 	}
-	rates := make(map[string][]float64)
-	for _, v := range variants {
-		for _, s := range sizes {
-			rate := prefillRate(v.mk, s, probe)
-			rates[v.name] = append(rates[v.name], rate)
-			r.row(fmt.Sprintf("%s @ %d entries", v.name, s), rate, "ops/s", "")
-		}
-	}
-	lin := rates["NFS (linear dirs)"]
-	hash := rates["NFS/WAFL (hash dirs)"]
-	if len(lin) == 3 && len(hash) == 3 && lin[2] > 0 {
-		r.finding("paper: hashed/tree directory indexes keep large directories "+
-			"usable while linear scans collapse; here the linear variant loses "+
-			"%.0fx from 1k to 100k entries while the hash variant loses %.1f%%",
-			lin[0]/lin[2], 100*(1-hash[2]/hash[0]))
-	}
-
 	// Parallel part: shared directory vs per-process directories on
-	// Lustre, 8 nodes x 1 process.
+	// Lustre, 8 nodes x 1 process. Self-contained (own kernel, seed 881)
+	// so it runs as a cell alongside the prefill sweep.
 	sharedVsOwn := func(plugin core.Plugin, problem int) float64 {
 		k := sim.New(881)
 		cl := cluster.New(k, cluster.DefaultConfig(8))
@@ -187,8 +186,45 @@ func E08LargeDirectories() *Report {
 		}
 		return stoneOf(set, plugin.Name(), 8, 1)
 	}
-	shared := sharedVsOwn(core.MakeOnedirFiles{}, 8000) // 1000 per proc, one dir
-	own := sharedVsOwn(core.MakeFiles{}, 1000)          // 1000 per proc, own dirs
+
+	// One cell per (variant, size) prefill probe plus the two
+	// parallel-create cells — 11 in all, merged in declaration order.
+	nProbe := len(variants) * len(sizes)
+	var names []string
+	for _, v := range variants {
+		for _, s := range sizes {
+			names = append(names, fmt.Sprintf("%s@%d", v.name, s))
+		}
+	}
+	names = append(names, "shared-dir", "own-dirs")
+	vals := parCells("E08", names, func(i int) float64 {
+		switch {
+		case i < nProbe:
+			return prefillRate(variants[i/len(sizes)].mk, sizes[i%len(sizes)], probe)
+		case i == nProbe:
+			return sharedVsOwn(core.MakeOnedirFiles{}, 8000) // 1000 per proc, one dir
+		default:
+			return sharedVsOwn(core.MakeFiles{}, 1000) // 1000 per proc, own dirs
+		}
+	})
+	rates := make(map[string][]float64)
+	for vi, v := range variants {
+		for si, s := range sizes {
+			rate := vals[vi*len(sizes)+si]
+			rates[v.name] = append(rates[v.name], rate)
+			r.row(fmt.Sprintf("%s @ %d entries", v.name, s), rate, "ops/s", "")
+		}
+	}
+	lin := rates["NFS (linear dirs)"]
+	hash := rates["NFS/WAFL (hash dirs)"]
+	if len(lin) == 3 && len(hash) == 3 && lin[2] > 0 {
+		r.finding("paper: hashed/tree directory indexes keep large directories "+
+			"usable while linear scans collapse; here the linear variant loses "+
+			"%.0fx from 1k to 100k entries while the hash variant loses %.1f%%",
+			lin[0]/lin[2], 100*(1-hash[2]/hash[0]))
+	}
+
+	shared, own := vals[nProbe], vals[nProbe+1]
 	r.row("Lustre 8x1, one shared directory", shared, "ops/s", "MakeOnedirFiles")
 	r.row("Lustre 8x1, per-process directories", own, "ops/s", "MakeFiles")
 	if shared > 0 {

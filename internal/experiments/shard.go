@@ -68,26 +68,42 @@ func E16ShardScaling() *Report {
 	r := &Report{ID: "E16", Title: "Shard-count scaling of create throughput",
 		PaperRef: "beyond §4.3 (HopsFS/MetaFlow direction)"}
 	plugin := e16Workload(0)
+	shardsSwept := []int{1, 2, 4, 8, 16}
+	// One cell per shard count. One seed for every sweep point: the only
+	// variable between cells is the shard count, not the storage service
+	// jitter.
+	type e16cell struct {
+		set   *results.Set
+		rate  float64
+		cross int64
+	}
+	names := make([]string, len(shardsSwept))
+	for i, n := range shardsSwept {
+		names[i] = fmt.Sprintf("%dshards", n)
+	}
+	cells := parCells("E16", names, func(i int) e16cell {
+		set, fsys := runSharded(1600, shard.DefaultConfig(shardsSwept[i]), plugin, 500)
+		if set == nil {
+			return e16cell{}
+		}
+		return e16cell{set: set, rate: wallOf(set, plugin.Name(), 16, 4), cross: fsys.CrossCount}
+	})
 	var xs, ys []float64
 	var rates []float64
 	var crosses []int64
-	shardsSwept := []int{1, 2, 4, 8, 16}
-	for _, n := range shardsSwept {
-		// One seed for every sweep point: the only variable between
-		// runs is the shard count, not the storage service jitter.
-		set, fsys := runSharded(1600, shard.DefaultConfig(n), plugin, 500)
-		if set == nil {
+	for i, n := range shardsSwept {
+		c := cells[i]
+		if c.set == nil {
 			r.finding("run failed at %d shards", n)
 			return r
 		}
-		r.Sets = append(r.Sets, set)
-		rate := wallOf(set, plugin.Name(), 16, 4)
-		rates = append(rates, rate)
-		crosses = append(crosses, fsys.CrossCount)
+		r.Sets = append(r.Sets, c.set)
+		rates = append(rates, c.rate)
+		crosses = append(crosses, c.cross)
 		xs = append(xs, float64(n))
-		ys = append(ys, rate)
-		r.row(fmt.Sprintf("creates/s @ %2d shards", n), rate, "ops/s",
-			fmt.Sprintf("%d cross-shard hops", fsys.CrossCount))
+		ys = append(ys, c.rate)
+		r.row(fmt.Sprintf("creates/s @ %2d shards", n), c.rate, "ops/s",
+			fmt.Sprintf("%d cross-shard hops", c.cross))
 	}
 	best := 0
 	for i := range rates {
@@ -129,13 +145,15 @@ func E17ShardSkew() *Report {
 	type cell struct {
 		rate      float64
 		imbalance float64
+		set       *results.Set
 	}
+	// measure is one cell: it runs on its own kernel and touches nothing
+	// shared — sets are collected by the merge loop below, in cell order.
 	measure := func(p shard.Policy, skew float64, seed int64) cell {
 		set, fsys := runSharded(seed, mkCfg(p), e16Workload(skew), 400)
 		if set == nil {
 			return cell{}
 		}
-		r.Sets = append(r.Sets, set)
 		ops := fsys.ShardOps()
 		var max, sum int64
 		for _, n := range ops {
@@ -144,16 +162,31 @@ func E17ShardSkew() *Report {
 				max = n
 			}
 		}
-		c := cell{rate: wallOf(set, "ZipfDirFiles", 16, 4)}
+		c := cell{rate: wallOf(set, "ZipfDirFiles", 16, 4), set: set}
 		if sum > 0 {
 			c.imbalance = float64(max) * float64(len(ops)) / float64(sum)
 		}
 		return c
 	}
-	hashU := measure(shard.PlaceHashDir, 0, 1701)
-	subU := measure(shard.PlaceSubtree, 0, 1702)
-	hashZ := measure(shard.PlaceHashDir, 2.0, 1703)
-	subZ := measure(shard.PlaceSubtree, 2.0, 1704)
+	cells := parCells("E17", []string{"hash-uniform", "subtree-uniform",
+		"hash-zipf", "subtree-zipf"}, func(i int) cell {
+		switch i {
+		case 0:
+			return measure(shard.PlaceHashDir, 0, 1701)
+		case 1:
+			return measure(shard.PlaceSubtree, 0, 1702)
+		case 2:
+			return measure(shard.PlaceHashDir, 2.0, 1703)
+		default:
+			return measure(shard.PlaceSubtree, 2.0, 1704)
+		}
+	})
+	for _, c := range cells {
+		if c.set != nil {
+			r.Sets = append(r.Sets, c.set)
+		}
+	}
+	hashU, subU, hashZ, subZ := cells[0], cells[1], cells[2], cells[3]
 	r.row("hash placement, uniform", hashU.rate, "ops/s",
 		fmt.Sprintf("hottest shard %.1fx mean", hashU.imbalance))
 	r.row("subtree placement, uniform", subU.rate, "ops/s",
@@ -186,99 +219,131 @@ func E18CrossShard() *Report {
 		PaperRef: "beyond §4.6 (MDS interconnect hops)"}
 	const ops = 200
 
-	// Part 1: same-shard vs. cross-shard rename on hash placement.
-	k := sim.New(1801)
-	cl := cluster.New(k, cluster.DefaultConfig(1))
-	fsys := shard.New(k, "meta", shard.DefaultConfig(8))
-	// Probe the routing for a same-shard and a cross-shard directory
-	// pair before spawning any load.
-	var local, remote string
-	base := "/d0"
-	for i := 1; i < 128 && (local == "" || remote == ""); i++ {
-		cand := fmt.Sprintf("/d%d", i)
-		if fsys.ShardOfDir(cand) == fsys.ShardOfDir(base) {
-			if local == "" {
-				local = cand
-			}
-		} else if remote == "" {
-			remote = cand
-		}
+	// Part 1 cell: same-shard vs. cross-shard rename on hash placement.
+	type renameProbe struct {
+		sameAvg, crossAvg time.Duration
+		crossings         int64
+		err               error
 	}
-	var sameAvg, crossAvg time.Duration
-	k.Spawn("probe", func(p *sim.Proc) {
-		c := fsys.NewClient(cl.Nodes[0], p)
-		for _, d := range []string{base, local, remote} {
-			if err := c.Mkdir(d); err != nil {
-				return
+	probeRename := func() renameProbe {
+		k := sim.New(1801)
+		cl := cluster.New(k, cluster.DefaultConfig(1))
+		fsys := shard.New(k, "meta", shard.DefaultConfig(8))
+		// Probe the routing for a same-shard and a cross-shard directory
+		// pair before spawning any load.
+		var local, remote string
+		base := "/d0"
+		for i := 1; i < 128 && (local == "" || remote == ""); i++ {
+			cand := fmt.Sprintf("/d%d", i)
+			if fsys.ShardOfDir(cand) == fsys.ShardOfDir(base) {
+				if local == "" {
+					local = cand
+				}
+			} else if remote == "" {
+				remote = cand
 			}
 		}
-		for i := 0; i < ops; i++ {
-			if err := c.Create(fmt.Sprintf("%s/f%d", base, i)); err != nil {
-				return
+		var sameAvg, crossAvg time.Duration
+		k.Spawn("probe", func(p *sim.Proc) {
+			c := fsys.NewClient(cl.Nodes[0], p)
+			for _, d := range []string{base, local, remote} {
+				if err := c.Mkdir(d); err != nil {
+					return
+				}
 			}
-		}
-		start := p.Now()
-		for i := 0; i < ops; i++ {
-			if err := c.Rename(fmt.Sprintf("%s/f%d", base, i), fmt.Sprintf("%s/f%d", local, i)); err != nil {
-				return
+			for i := 0; i < ops; i++ {
+				if err := c.Create(fmt.Sprintf("%s/f%d", base, i)); err != nil {
+					return
+				}
 			}
-		}
-		sameAvg = (p.Now() - start) / ops
-		start = p.Now()
-		for i := 0; i < ops; i++ {
-			if err := c.Rename(fmt.Sprintf("%s/f%d", local, i), fmt.Sprintf("%s/f%d", remote, i)); err != nil {
-				return
+			start := p.Now()
+			for i := 0; i < ops; i++ {
+				if err := c.Rename(fmt.Sprintf("%s/f%d", base, i), fmt.Sprintf("%s/f%d", local, i)); err != nil {
+					return
+				}
 			}
+			sameAvg = (p.Now() - start) / ops
+			start = p.Now()
+			for i := 0; i < ops; i++ {
+				if err := c.Rename(fmt.Sprintf("%s/f%d", local, i), fmt.Sprintf("%s/f%d", remote, i)); err != nil {
+					return
+				}
+			}
+			crossAvg = (p.Now() - start) / ops
+		})
+		err := k.Run()
+		return renameProbe{sameAvg, crossAvg, fsys.CrossCount, err}
+	}
+
+	// Part 2 cell: root readdir under subtree placement merges all
+	// shards; a subtree-local listing stays on one.
+	type readdirProbe struct {
+		rootAvg, localAvg time.Duration
+		err               error
+	}
+	probeReaddir := func() readdirProbe {
+		k2 := sim.New(1802)
+		cl2 := cluster.New(k2, cluster.DefaultConfig(1))
+		cfg := shard.DefaultConfig(8)
+		cfg.Placement = shard.PlaceSubtree
+		cfg.SubtreeAssign = e16SubtreeAssign(8)
+		fsys2 := shard.New(k2, "meta", cfg)
+		var rootAvg, localAvg time.Duration
+		k2.Spawn("readdir", func(p *sim.Proc) {
+			c := fsys2.NewClient(cl2.Nodes[0], p)
+			for j := 0; j < 24; j++ {
+				if err := c.Mkdir(fmt.Sprintf("/zp%d", j)); err != nil {
+					return
+				}
+			}
+			for i := 0; i < 32; i++ {
+				if err := c.Create(fmt.Sprintf("/zp0/f%d", i)); err != nil {
+					return
+				}
+			}
+			start := p.Now()
+			for i := 0; i < ops; i++ {
+				if _, err := c.ReadDir("/"); err != nil {
+					return
+				}
+			}
+			rootAvg = (p.Now() - start) / ops
+			start = p.Now()
+			for i := 0; i < ops; i++ {
+				if _, err := c.ReadDir("/zp0"); err != nil {
+					return
+				}
+			}
+			localAvg = (p.Now() - start) / ops
+		})
+		err := k2.Run()
+		return readdirProbe{rootAvg, localAvg, err}
+	}
+
+	// Both probes write only their own slot; merge in declaration order.
+	var ren renameProbe
+	var rd readdirProbe
+	parCells("E18", []string{"rename", "readdir"}, func(i int) struct{} {
+		if i == 0 {
+			ren = probeRename()
+		} else {
+			rd = probeReaddir()
 		}
-		crossAvg = (p.Now() - start) / ops
+		return struct{}{}
 	})
-	if err := k.Run(); err != nil || sameAvg == 0 || crossAvg == 0 {
-		r.finding("rename probe failed (err=%v)", err)
+	sameAvg, crossAvg := ren.sameAvg, ren.crossAvg
+	if ren.err != nil || sameAvg == 0 || crossAvg == 0 {
+		r.finding("rename probe failed (err=%v)", ren.err)
 		return r
 	}
 	r.row("same-shard rename", float64(sameAvg.Microseconds()), "us", "hash placement, 8 shards")
 	r.row("cross-shard rename", float64(crossAvg.Microseconds()), "us", "migrate + interconnect hop")
 	r.row("cross-shard rename penalty", float64(crossAvg)/float64(sameAvg), "x", "")
-	r.row("interconnect crossings", float64(fsys.CrossCount), "", "")
+	r.row("interconnect crossings", float64(ren.crossings), "", "")
 
-	// Part 2: root readdir under subtree placement merges all shards;
-	// a subtree-local listing stays on one.
-	k2 := sim.New(1802)
-	cl2 := cluster.New(k2, cluster.DefaultConfig(1))
-	cfg := shard.DefaultConfig(8)
-	cfg.Placement = shard.PlaceSubtree
-	cfg.SubtreeAssign = e16SubtreeAssign(8)
-	fsys2 := shard.New(k2, "meta", cfg)
-	var rootAvg, localAvg time.Duration
-	k2.Spawn("readdir", func(p *sim.Proc) {
-		c := fsys2.NewClient(cl2.Nodes[0], p)
-		for j := 0; j < 24; j++ {
-			if err := c.Mkdir(fmt.Sprintf("/zp%d", j)); err != nil {
-				return
-			}
-		}
-		for i := 0; i < 32; i++ {
-			if err := c.Create(fmt.Sprintf("/zp0/f%d", i)); err != nil {
-				return
-			}
-		}
-		start := p.Now()
-		for i := 0; i < ops; i++ {
-			if _, err := c.ReadDir("/"); err != nil {
-				return
-			}
-		}
-		rootAvg = (p.Now() - start) / ops
-		start = p.Now()
-		for i := 0; i < ops; i++ {
-			if _, err := c.ReadDir("/zp0"); err != nil {
-				return
-			}
-		}
-		localAvg = (p.Now() - start) / ops
-	})
-	if err := k2.Run(); err != nil || rootAvg == 0 || localAvg == 0 {
-		r.finding("readdir probe failed (err=%v)", err)
+	rootAvg, localAvg := rd.rootAvg, rd.localAvg
+	if rd.err != nil || rootAvg == 0 || localAvg == 0 {
+		r.finding("readdir probe failed (err=%v)", rd.err)
 		return r
 	}
 	r.row("root readdir (8-shard merge)", float64(rootAvg.Microseconds()), "us", "subtree placement")

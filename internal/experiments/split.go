@@ -65,29 +65,51 @@ func E25SplitScaling() *Report {
 		PaperRef: "beyond §4.3.3 (the large-directory wall; GIGA+/HopsFS direction)"}
 	plugin := core.WideDirFiles{}
 	const problem = 250 // per process; 64 procs = 16k files in one directory
+	shardsSwept := []int{1, 2, 4, 8, 16}
+	// One cell per (shard count, splitting on/off) pair — 10 runs, one
+	// seed for all of them.
+	type e25cell struct {
+		set     *results.Set
+		rate    float64
+		splits  int
+		moved   int64
+		bounces int64
+	}
+	names := make([]string, 0, 2*len(shardsSwept))
+	for _, n := range shardsSwept {
+		names = append(names, fmt.Sprintf("%dshards-off", n), fmt.Sprintf("%dshards-on", n))
+	}
+	cells := parCells("E25", names, func(i int) e25cell {
+		threshold := 0
+		if i%2 == 1 {
+			threshold = 512
+		}
+		set, fsys := runWide(2500, e25Cfg(shardsSwept[i/2], threshold), plugin, problem)
+		if set == nil {
+			return e25cell{}
+		}
+		return e25cell{set: set, rate: wallOf(set, plugin.Name(), 16, 4),
+			splits: len(fsys.Splits), moved: fsys.SplitMoved, bounces: fsys.Bounces}
+	})
 	var xs, offY, onY []float64
 	var off8, on8 float64
-	shardsSwept := []int{1, 2, 4, 8, 16}
-	for _, n := range shardsSwept {
-		offSet, _ := runWide(2500, e25Cfg(n, 0), plugin, problem)
-		onSet, onFS := runWide(2500, e25Cfg(n, 512), plugin, problem)
-		if offSet == nil || onSet == nil {
+	for i, n := range shardsSwept {
+		off, on := cells[2*i], cells[2*i+1]
+		if off.set == nil || on.set == nil {
 			r.finding("run failed at %d shards", n)
 			return r
 		}
-		r.Sets = append(r.Sets, offSet, onSet)
-		offRate := wallOf(offSet, plugin.Name(), 16, 4)
-		onRate := wallOf(onSet, plugin.Name(), 16, 4)
+		r.Sets = append(r.Sets, off.set, on.set)
 		xs = append(xs, float64(n))
-		offY = append(offY, offRate)
-		onY = append(onY, onRate)
+		offY = append(offY, off.rate)
+		onY = append(onY, on.rate)
 		if n == 8 {
-			off8, on8 = offRate, onRate
+			off8, on8 = off.rate, on.rate
 		}
-		r.row(fmt.Sprintf("creates/s @ %2d shards, split off", n), offRate, "ops/s", "")
-		r.row(fmt.Sprintf("creates/s @ %2d shards, split on", n), onRate, "ops/s",
+		r.row(fmt.Sprintf("creates/s @ %2d shards, split off", n), off.rate, "ops/s", "")
+		r.row(fmt.Sprintf("creates/s @ %2d shards, split on", n), on.rate, "ops/s",
 			fmt.Sprintf("%d splits, %d entries moved, %d bounces",
-				len(onFS.Splits), onFS.SplitMoved, onFS.Bounces))
+				on.splits, on.moved, on.bounces))
 	}
 	if off8 > 0 {
 		r.row("split advantage @ 8 shards", on8/off8, "x", "threshold 512")
@@ -145,11 +167,27 @@ func E26SplitStorm() *Report {
 		}
 		return set.Find("WideDirFiles", 8, 2), set, fsys, benchStart
 	}
+	// One cell per split threshold.
+	thresholds := []int{512, 2048, 8192}
+	type e26cell struct {
+		m     *results.Measurement
+		set   *results.Set
+		fs    *shard.FS
+		start time.Duration
+	}
+	names := make([]string, len(thresholds))
+	for i, threshold := range thresholds {
+		names[i] = fmt.Sprintf("thresh%d", threshold)
+	}
+	cells := parCells("E26", names, func(i int) e26cell {
+		m, set, fsys, start := run(int64(2600+i), thresholds[i])
+		return e26cell{m, set, fsys, start}
+	})
 	var chartsOut []string
 	var firstDip, lastDip, lastCOV float64
 	var lastStorm int
-	for i, threshold := range []int{512, 2048, 8192} {
-		m, set, fsys, start := run(int64(2600+i), threshold)
+	for i, threshold := range thresholds {
+		m, set, fsys, start := cells[i].m, cells[i].set, cells[i].fs, cells[i].start
 		if m == nil {
 			r.finding("run failed at threshold %d", threshold)
 			return r
@@ -281,31 +319,8 @@ func E27SplitRouting() *Report {
 		}
 		return bounces, stats, bitmapHitRate
 	}
-	var xs, ys []float64
-	for _, ttl := range []time.Duration{50 * time.Millisecond, 100 * time.Millisecond,
-		500 * time.Millisecond, 10 * time.Second} {
-		bounces, stats, hitRate := probeBounce(shard.CacheTTL, ttl)
-		if stats == 0 {
-			r.finding("bounce probe failed at bitmap TTL %v", ttl)
-			return r
-		}
-		perRound := float64(bounces) / float64(rounds*readers)
-		xs = append(xs, ttl.Seconds())
-		ys = append(ys, perRound)
-		r.row(fmt.Sprintf("bitmap ttl %5s: bounces/revisit", ttl), perRound, "",
-			fmt.Sprintf("%d bounces over %d stats, %.0f%% bitmap hits, %s gaps",
-				bounces, stats, hitRate, gap))
-	}
-	leaseBounces, leaseStats, leaseHitRate := probeBounce(shard.CacheLease, 0)
-	if leaseStats == 0 {
-		r.finding("bounce probe failed for the lease-mode cell")
-		return r
-	}
-	leasePerRound := float64(leaseBounces) / float64(rounds*readers)
-	r.row("lease mode: bounces/revisit", leasePerRound, "",
-		fmt.Sprintf("%d bounces, %.0f%% bitmap hits; the bitmap rides the %s directory lease",
-			leaseBounces, leaseHitRate, shard.DefaultConfig(8).LeaseTTL))
-
+	ttls := []time.Duration{50 * time.Millisecond, 100 * time.Millisecond,
+		500 * time.Millisecond, 10 * time.Second}
 	// The fan-out price of listing a split directory: one client, one
 	// 4000-entry directory, listed split (8 partition slices merged) and
 	// unsplit (one readdir on the home shard).
@@ -337,8 +352,62 @@ func E27SplitRouting() *Report {
 		}
 		return avg, 1 << fsys.SplitLevel("/big")
 	}
-	flatAvg, _ := probe(0)
-	splitAvg, parts := probe(256)
+	// Seven cells: the four TTL bounce probes, the lease bounce probe and
+	// the two readdir fan-out probes, each on its own kernel.
+	type e27cell struct {
+		bounces int64
+		stats   int
+		hitRate float64
+		avg     time.Duration
+		parts   int
+	}
+	names := make([]string, 0, len(ttls)+3)
+	for _, ttl := range ttls {
+		names = append(names, "bitmap-ttl-"+ttl.String())
+	}
+	names = append(names, "lease-mode", "readdir-unsplit", "readdir-split")
+	cells := parCells("E27", names, func(i int) e27cell {
+		switch {
+		case i < len(ttls):
+			b, s, h := probeBounce(shard.CacheTTL, ttls[i])
+			return e27cell{bounces: b, stats: s, hitRate: h}
+		case i == len(ttls):
+			b, s, h := probeBounce(shard.CacheLease, 0)
+			return e27cell{bounces: b, stats: s, hitRate: h}
+		case i == len(ttls)+1:
+			avg, parts := probe(0)
+			return e27cell{avg: avg, parts: parts}
+		default:
+			avg, parts := probe(256)
+			return e27cell{avg: avg, parts: parts}
+		}
+	})
+	var xs, ys []float64
+	for i, ttl := range ttls {
+		c := cells[i]
+		if c.stats == 0 {
+			r.finding("bounce probe failed at bitmap TTL %v", ttl)
+			return r
+		}
+		perRound := float64(c.bounces) / float64(rounds*readers)
+		xs = append(xs, ttl.Seconds())
+		ys = append(ys, perRound)
+		r.row(fmt.Sprintf("bitmap ttl %5s: bounces/revisit", ttl), perRound, "",
+			fmt.Sprintf("%d bounces over %d stats, %.0f%% bitmap hits, %s gaps",
+				c.bounces, c.stats, c.hitRate, gap))
+	}
+	lease := cells[len(ttls)]
+	if lease.stats == 0 {
+		r.finding("bounce probe failed for the lease-mode cell")
+		return r
+	}
+	leasePerRound := float64(lease.bounces) / float64(rounds*readers)
+	r.row("lease mode: bounces/revisit", leasePerRound, "",
+		fmt.Sprintf("%d bounces, %.0f%% bitmap hits; the bitmap rides the %s directory lease",
+			lease.bounces, lease.hitRate, shard.DefaultConfig(8).LeaseTTL))
+
+	flatAvg := cells[len(ttls)+1].avg
+	splitAvg, parts := cells[len(ttls)+2].avg, cells[len(ttls)+2].parts
 	if flatAvg == 0 || splitAvg == 0 {
 		r.finding("readdir probe failed")
 		return r

@@ -7,6 +7,7 @@ import (
 	"dmetabench/internal/cluster"
 	"dmetabench/internal/core"
 	"dmetabench/internal/lustre"
+	"dmetabench/internal/results"
 	"dmetabench/internal/sim"
 )
 
@@ -20,24 +21,41 @@ func E15WritebackCaching() *Report {
 		PaperRef: "§4.8"}
 	const window = 8 * time.Second
 
-	k := sim.New(1501)
-	cl := cluster.New(k, cluster.DefaultConfig(1))
 	cfg := lustre.DefaultConfig()
 	cfg.Writeback = true
 	cfg.WritebackWindow = 4096
-	fsys := lustre.New(k, "scratch", cfg)
-	run := &core.Runner{
-		Cluster: cl,
-		FS:      fsys,
-		Params: core.Params{
-			ProblemSize: 50000, // one directory; no rotation inside the window
-			TimeLimit:   window,
-			WorkDir:     "/bench",
-		},
-		SlotsPerNode: 1,
-		Plugins:      []core.Plugin{core.MakeFiles{}},
+
+	// Two cells: the write-back run and its synchronous reference.
+	type e15cell struct {
+		set  *results.Set
+		err  error
+		rate float64
 	}
-	set, err := run.Run()
+	cells := parCells("E15", []string{"writeback", "sync-ref"}, func(i int) e15cell {
+		if i == 1 {
+			// Synchronous reference: the same hardware without write-back.
+			return e15cell{rate: singleProcWall(func(k *sim.Kernel) core.FileSystem {
+				return lustre.New(k, "scratch", lustre.DefaultConfig())
+			}, core.MakeFiles{}, 800, 1502)}
+		}
+		k := sim.New(1501)
+		cl := cluster.New(k, cluster.DefaultConfig(1))
+		run := &core.Runner{
+			Cluster: cl,
+			FS:      lustre.New(k, "scratch", cfg),
+			Params: core.Params{
+				ProblemSize: 50000, // one directory; no rotation inside the window
+				TimeLimit:   window,
+				WorkDir:     "/bench",
+			},
+			SlotsPerNode: 1,
+			Plugins:      []core.Plugin{core.MakeFiles{}},
+		}
+		set, err := run.Run()
+		return e15cell{set: set, err: err}
+	})
+	set, err := cells[0].set, cells[0].err
+	syncRate := cells[1].rate
 	if err != nil {
 		r.finding("run failed: %v", err)
 		return r
@@ -50,11 +68,6 @@ func E15WritebackCaching() *Report {
 	}
 	burst := windowThroughput(m, 0, 200*time.Millisecond)
 	sustained := windowThroughput(m, 4*time.Second, window)
-
-	// Synchronous reference: the same hardware without write-back.
-	syncRate := singleProcWall(func(k *sim.Kernel) core.FileSystem {
-		return lustre.New(k, "scratch", lustre.DefaultConfig())
-	}, core.MakeFiles{}, 800, 1502)
 
 	r.row("burst rate (first 200ms)", burst, "ops/s", "window filling at client speed")
 	r.row("sustained rate (4..8s)", sustained, "ops/s", "metadata server drain rate")

@@ -33,6 +33,16 @@ fi
 scripts/bench.sh "$outdir" -count 3 -substrate-only
 fresh=$(ls "$outdir"/BENCH_*.json | sort | tail -1)
 
+# Suite wall-clock timing line: one parallel run of the whole suite, so
+# the perf trajectory in the CI artifact captures end-to-end cost, not
+# just ns/op. Informational only — never gated (shared runners are too
+# noisy for a hard wall-clock bound).
+workers=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+go build -o "$outdir/.experiments-gate" ./cmd/experiments
+suite_s=$("$outdir/.experiments-gate" -j "$workers" | awk '/^total:/ { sub(/s$/, "", $2); print $2 }')
+rm -f "$outdir/.experiments-gate"
+echo "bench_gate: suite wall-clock ${suite_s}s (-j $workers)" | tee "$outdir/suite_timing.txt"
+
 extract() {
 	# Pull ns_per_op of one benchmark out of a snapshot; every snapshot
 	# format keeps one benchmark per line.
