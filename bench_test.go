@@ -218,6 +218,21 @@ func BenchmarkE27SplitRouting(b *testing.B) {
 		"fan-out penalty")
 }
 
+func BenchmarkE28BackendProfile(b *testing.B) {
+	runExperiment(b, experiments.E28BackendProfile,
+		"memjournal: create", "btree     : create", "lsm ENOENT discount")
+}
+
+func BenchmarkE29CompactionTimeline(b *testing.B) {
+	runExperiment(b, experiments.E29CompactionTimeline,
+		"compact every  2MB: deepest dip", "compact every 32MB: deepest dip")
+}
+
+func BenchmarkE30GroupCommit(b *testing.B) {
+	runExperiment(b, experiments.E30GroupCommit,
+		"throughput cost, window    0us", "mirror traffic, window 4000us")
+}
+
 func BenchmarkA01AveragingMethods(b *testing.B) {
 	runExperiment(b, experiments.A01AveragingMethods,
 		"wall-clock average", "stonewall average")
@@ -302,6 +317,33 @@ func BenchmarkCachedGetattr(b *testing.B) {
 			}
 		}
 	})
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkBackendCreate measures the real-time cost of one simulated
+// create on the LSM-backed sharded MDS (4 shards, hash placement): the
+// backend pricing hooks — opInfo classification, the factor multiply,
+// write-amplified logging and compaction-debt bookkeeping — on top of
+// the BenchmarkShardedCreate path, gated alongside it.
+func BenchmarkBackendCreate(b *testing.B) {
+	k := sim.New(1)
+	cl := cluster.New(k, cluster.DefaultConfig(1))
+	cfg := shard.DefaultConfig(4)
+	cfg.Backend = shard.BackendLSM
+	fsys := shard.New(k, "bench", cfg)
+	k.Spawn("creator", func(p *sim.Proc) {
+		c := fsys.NewClient(cl.Nodes[0], p)
+		c.Mkdir("/d")
+		for i := 0; i < b.N; i++ {
+			if i%5000 == 0 {
+				c.Mkdir(fmt.Sprintf("/d/s%d", i/5000))
+			}
+			c.Create(fmt.Sprintf("/d/s%d/%d", i/5000, i))
+		}
+	})
+	b.ResetTimer()
 	if err := k.Run(); err != nil {
 		b.Fatal(err)
 	}

@@ -52,6 +52,7 @@ func main() {
 		latency     = flag.Duration("latency", 250*time.Microsecond, "sim: one-way network latency")
 		seed        = flag.Int64("seed", 1, "sim: random seed")
 		shards      = flag.Int("shards", 4, "sim: metadata servers for -fs shard / shard-subtree")
+		backendName = flag.String("backend", "mem", "sim: shard storage backend cost model: mem | lsm | btree")
 		ops         = flag.String("ops", "MakeFiles", "comma-separated operation list")
 		problem     = flag.Int("problemsize", 5000, "operations per process (or per-directory limit)")
 		timeLimit   = flag.Duration("timelimit", 0, "timed benchmark window (0 = fixed problem size)")
@@ -94,7 +95,7 @@ func main() {
 	var err error
 	switch *mode {
 	case "sim":
-		set, err = runSim(*fsKind, *nodes, *ppn, *cores, *shards, *latency, *seed, params, plugins)
+		set, err = runSim(*fsKind, *nodes, *ppn, *cores, *shards, *backendName, *latency, *seed, params, plugins)
 	case "real":
 		if *root == "" {
 			fatal(fmt.Errorf("-mode real requires -root"))
@@ -128,7 +129,7 @@ func main() {
 	}
 }
 
-func runSim(fsKind string, nodes, ppn, cores, shards int, latency time.Duration, seed int64,
+func runSim(fsKind string, nodes, ppn, cores, shards int, backendName string, latency time.Duration, seed int64,
 	params core.Params, plugins []core.Plugin) (*results.Set, error) {
 
 	k := sim.New(seed)
@@ -179,6 +180,12 @@ func runSim(fsKind string, nodes, ppn, cores, shards int, latency time.Duration,
 	case "shard", "shard-subtree":
 		c := shard.DefaultConfig(shards)
 		c.OneWayLatency = latency
+		switch backendName {
+		case "", "mem", "memjournal", "lsm", "btree", "sql":
+			c.Backend = shard.ParseBackend(backendName)
+		default:
+			return nil, fmt.Errorf("unknown -backend %q", backendName)
+		}
 		if fsKind == "shard-subtree" {
 			c.Placement = shard.PlaceSubtree
 		}

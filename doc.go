@@ -5,8 +5,10 @@
 // Ontap GX, AFS, CXFS), and the full Chapter-4 experiment suite —
 // extended past the thesis with a sharded multi-MDS model
 // (internal/shard) carrying fault injection, primary/backup failover,
-// lease-based client cache coherence and dynamic giant-directory
-// splitting (experiments E16–E27).
+// lease-based client cache coherence, dynamic giant-directory
+// splitting and pluggable storage-backend cost models
+// (memory-journal, LSM-KV, B-tree/SQL) with group-commit batching
+// (experiments E16–E30).
 //
 // See README.md for the layout, DESIGN.md for the system inventory and
 // EXPERIMENTS.md for the paper-vs-measured record. The root package holds

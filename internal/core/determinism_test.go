@@ -114,6 +114,31 @@ func runAndSave(t *testing.T, seed int64, mode string) map[string]string {
 				plan.Start(mp, fsys)
 			},
 		}
+	case "shard-lsm":
+		// LSM backend with group commit under fault injection: batched
+		// flushes, deterministic compaction-pause windows, a compaction
+		// racing the crash/takeover and replay priced by the backend's
+		// ReplayFactor must all land at identical virtual times across
+		// identically-seeded runs.
+		cfg := shard.DefaultConfig(4)
+		cfg.Replicate = true
+		cfg.Backend = shard.BackendLSM
+		cfg.LSM.CompactEvery = 32 << 10
+		cfg.GroupCommitWindow = time.Millisecond
+		cfg.TakeoverDetect = 100 * time.Millisecond
+		fsys := shard.New(k, "meta", cfg)
+		plan := (&fault.Plan{}).Outage(200*time.Millisecond, 700*time.Millisecond, 1)
+		r = &Runner{
+			Cluster: cl,
+			FS:      fsys,
+			Params: Params{ProblemSize: 250, WorkDir: "/bench",
+				TimeLimit: 1500 * time.Millisecond, Interval: 100 * time.Millisecond},
+			SlotsPerNode: 2,
+			Plugins:      []Plugin{MakeFiles{}},
+			BenchStartHook: func(mp *sim.Proc, _ MeasurementInfo) {
+				plan.Start(mp, fsys)
+			},
+		}
 	case "lustre-writeback":
 		cfg := lustre.DefaultConfig()
 		cfg.Writeback = true
@@ -175,7 +200,7 @@ func runAndSave(t *testing.T, seed int64, mode string) map[string]string {
 func TestRunnerDeterministic(t *testing.T) {
 	for _, mode := range []string{
 		"nfs-timed", "lustre-writeback", "shard-hash", "shard-subtree",
-		"shard-failover", "shard-coherent", "shard-split",
+		"shard-failover", "shard-coherent", "shard-split", "shard-lsm",
 	} {
 		t.Run(mode, func(t *testing.T) {
 			a := runAndSave(t, 77, mode)

@@ -114,6 +114,9 @@ func All() []Experiment {
 		{"E25", E25SplitScaling, 10},
 		{"E26", E26SplitStorm, 3},
 		{"E27", E27SplitRouting, 7},
+		{"E28", E28BackendProfile, 12},
+		{"E29", E29CompactionTimeline, 3},
+		{"E30", E30GroupCommit, 9},
 	}
 }
 

@@ -427,11 +427,11 @@ func (c *client) ReadDirPlus(p string) ([]fs.DirEntry, []fs.Attr, error) {
 	cerr := c.call("readdirplus", p, slice, 140, 320, func(sp *sim.Proc, state, srv *shardSrv) {
 		ents, err = state.ns.ReadDir(p, sp.Now())
 		if err != nil {
-			f.service(sp, srv, cfg.ReaddirService, -1)
+			f.serviceOp(sp, srv, cfg.ReaddirService, -1, scanInfo())
 			return
 		}
-		f.service(sp, srv, readdirCost(cfg, len(ents))+
-			time.Duration(len(ents))*cfg.ReaddirPlusPerEntry, -1)
+		f.serviceOp(sp, srv, readdirCost(cfg, len(ents))+
+			time.Duration(len(ents))*cfg.ReaddirPlusPerEntry, -1, scanInfo())
 		attrs = make([]fs.Attr, len(ents))
 		for i, e := range ents {
 			node := state.ns.Get(e.Ino)

@@ -45,6 +45,17 @@
 // tables, so with Config.CrashInvalidate the failover path cannot leak
 // stale reads beyond the takeover itself.
 //
+// Every shard's storage work is priced by a pluggable backend cost
+// model (backend.go, experiments E28–E30): Config.Backend selects the
+// default in-memory+journal model, an LSM-tree KV store (write
+// amplification, deterministic compaction stalls, bloom-filtered
+// negative lookups) or a B-tree/SQL store (page depth scaling with
+// directory size, hot-directory lock waits, expensive replay), and
+// Config.GroupCommitWindow batches the journal flush and replication
+// round trip of mutations committing within one window. The default
+// backend with a zero window reproduces the pre-backend cost model byte
+// for byte.
+//
 // Giant directories split dynamically (split.go, experiments E25–E27):
 // with Config.SplitThreshold set, a directory whose entry count crosses
 // the threshold re-partitions its entries across shards by hash-of-name
@@ -149,7 +160,10 @@ type Config struct {
 	// expiry) before a backup begins taking over a crashed primary.
 	TakeoverDetect time.Duration
 	// ReplayPerEntry is the recovery cost per journal entry, paid by a
-	// backup promoting itself and by a restarted primary.
+	// backup promoting itself and by a restarted primary. Non-default
+	// backends scale it by their ReplayFactor (sequential WAL replay is
+	// cheap on an LSM store, random page updates are expensive on a
+	// B-tree — backend.go).
 	ReplayPerEntry time.Duration
 	// RetryTimeout is the client-observed RPC timeout against a dead
 	// server (one failed attempt costs this much virtual time).
@@ -211,6 +225,24 @@ type Config struct {
 	// attribute/lease cache and the dentry cache alike (0 = unbounded);
 	// eviction goes by expiry then insertion order.
 	AttrCacheCap int
+
+	// Backend selects the metadata storage backend cost model
+	// (backend.go, E28–E30). The zero value, BackendMemJournal, is the
+	// pre-E28 behavior, byte for byte.
+	Backend BackendKind
+	// LSM and BTree tune the non-default backends; zero fields take
+	// DefaultLSMParams / DefaultBTreeParams.
+	LSM   LSMParams
+	BTree BTreeParams
+	// GroupCommitWindow batches the durability work of mutations: all
+	// mutations committing on one shard within the window share a
+	// single journal flush and replication round trip (E30). The
+	// namespace change still applies and journals at each mutation's
+	// own commit instant — only the flush and the mirror traffic are
+	// deferred to the batch, and the mutating RPC does not return until
+	// its batch is flushed. Zero (the default) commits per-op, the
+	// pre-E30 behavior, byte for byte.
+	GroupCommitWindow time.Duration
 }
 
 // DefaultConfig returns an n-shard configuration with per-shard service
@@ -277,6 +309,11 @@ type shardSrv struct {
 	ns    *namespace.Namespace
 	locks map[fs.Ino]*sim.Mutex
 	ops   int64
+
+	// be prices this shard's storage work (backend.go); gc is the open
+	// group-commit batch, nil when none (Config.GroupCommitWindow).
+	be backend
+	gc *gcBatch
 
 	// up mirrors the simnet server state; false between Crash and the
 	// end of Restart recovery.
@@ -377,6 +414,16 @@ type FS struct {
 	// down peer slice and returned a degraded (partial) listing — the
 	// aggregated-namespace failure mode a client otherwise cannot see.
 	PartialListings int64
+
+	// Backend and group-commit counters (backend.go, E28–E30).
+	// Compactions records every LSM compaction pause, in order.
+	Compactions []CompactionEvent
+	// GroupCommits counts group-commit batches flushed; GroupCommitOps
+	// counts mutations that joined an already-open batch (so batched
+	// mutations total GroupCommits + GroupCommitOps). With batching,
+	// MirrorCount counts batched replication round trips, not mirrored
+	// mutations — the collapse E30 measures.
+	GroupCommits, GroupCommitOps int64
 }
 
 type connKey struct {
@@ -405,6 +452,8 @@ func New(k *sim.Kernel, name string, cfg Config) *FS {
 	if cfg.RetryMax < 1 {
 		cfg.RetryMax = 64
 	}
+	cfg.LSM = cfg.LSM.withDefaults()
+	cfg.BTree = cfg.BTree.withDefaults()
 	f := &FS{
 		k:         k,
 		cfg:       cfg,
@@ -415,7 +464,7 @@ func New(k *sim.Kernel, name string, cfg Config) *FS {
 	}
 	for i := 0; i < cfg.NumShards; i++ {
 		id := name + "-" + strconv.Itoa(i)
-		f.shards = append(f.shards, &shardSrv{
+		sh := &shardSrv{
 			index: i,
 			srv:   simnet.NewServer(k, "mds:"+id, cfg.ShardThreads),
 			peer:  simnet.NewServer(k, "mdspeer:"+id, cfg.PeerThreads),
@@ -423,7 +472,9 @@ func New(k *sim.Kernel, name string, cfg Config) *FS {
 			ns:    namespace.New(),
 			locks: make(map[fs.Ino]*sim.Mutex),
 			up:    true,
-		})
+		}
+		sh.be = newBackend(f, sh)
+		f.shards = append(f.shards, sh)
 		f.serving = append(f.serving, i)
 		f.leases = append(f.leases, newSliceLeases())
 		f.epochs = append(f.epochs, 0)
@@ -439,6 +490,9 @@ func (f *FS) Name() string {
 	}
 	if f.splitActive() {
 		n += "-split"
+	}
+	if f.cfg.Backend != BackendMemJournal {
+		n += "-" + f.cfg.Backend.String()
 	}
 	return n
 }
@@ -507,7 +561,7 @@ func (f *FS) Crash(p *sim.Proc, i int) {
 			return
 		}
 		entries := len(sh.journal)
-		replay := time.Duration(entries) * f.cfg.ReplayPerEntry
+		replay := time.Duration(entries) * f.shards[b].be.replayPerEntry()
 		q.Sleep(replay)
 		if sh.up || !f.shards[b].up {
 			return // the primary recovered first, or the backup crashed mid-replay
@@ -532,7 +586,7 @@ func (f *FS) Restart(p *sim.Proc, i int) {
 	if sh.up {
 		return
 	}
-	replay := time.Duration(len(sh.journal)) * f.cfg.ReplayPerEntry
+	replay := time.Duration(len(sh.journal)) * sh.be.replayPerEntry()
 	f.k.AfterFunc("recover:"+strconv.Itoa(i), replay, func(q *sim.Proc) {
 		sh.up = true
 		sh.srv.SetUp()
@@ -674,11 +728,24 @@ func (sh *shardSrv) dirLock(k *sim.Kernel, ino fs.Ino) *sim.Mutex {
 
 // charge sleeps the service cost of one operation at sh: the base time
 // scaled by the shard's consistency-point factor and, when dirEntries is
-// non-negative, by the directory-index entry cost.
+// non-negative, by the directory-index entry cost. Unclassified work —
+// the backend's factor only contributes an active compaction stall.
 func (f *FS) charge(p *sim.Proc, sh *shardSrv, base time.Duration, dirEntries int) {
+	f.chargeOp(p, sh, base, dirEntries, opInfo{dirSize: -1})
+}
+
+// chargeOp is charge with a backend op classification: the backend's
+// cost factor for the classified operation multiplies the charge after
+// the consistency-point and directory-index factors. The default
+// backend returns exactly 1, and the guard skips the multiply, so the
+// float math of the pre-backend cost model is preserved bit for bit.
+func (f *FS) chargeOp(p *sim.Proc, sh *shardSrv, base time.Duration, dirEntries int, info opInfo) {
 	cost := float64(base) * sh.wafl.ServiceFactor()
 	if dirEntries >= 0 {
 		cost *= f.cfg.DirIndex.EntryCost(dirEntries)
+	}
+	if bf := sh.be.factor(p.Now(), info); bf != 1 {
+		cost *= bf
 	}
 	p.Sleep(time.Duration(cost))
 }
@@ -689,6 +756,45 @@ func (f *FS) service(p *sim.Proc, sh *shardSrv, base time.Duration, dirEntries i
 	f.rpcs++
 	sh.ops++
 }
+
+// serviceOp is chargeOp plus client-RPC accounting.
+func (f *FS) serviceOp(p *sim.Proc, sh *shardSrv, base time.Duration, dirEntries int, info opInfo) {
+	f.chargeOp(p, sh, base, dirEntries, info)
+	f.rpcs++
+	sh.ops++
+}
+
+// readInfo prices one point lookup at p for the configured backend: a
+// lookup expected to miss is marked negative (the LSM bloom filter makes
+// ENOENT the cheap case), and the parent directory's size feeds the
+// B-tree page-depth surcharge. Both hints peek at the state the service
+// body is about to read — a pricing hint, not a semantic check — and
+// under the default backend neither is computed, so the hot path pays
+// nothing.
+func (f *FS) readInfo(state *shardSrv, p string) opInfo {
+	info := opInfo{cls: opRead, dirSize: -1}
+	switch f.cfg.Backend {
+	case BackendLSM:
+		if _, err := state.ns.Stat(p); err != nil {
+			info.negative = true
+		}
+	case BackendBTree:
+		if dir, err := state.ns.Lookup(fs.ParentDir(p)); err == nil {
+			info.dirSize = dir.NumChildren()
+		}
+	}
+	return info
+}
+
+// writeInfo prices one mutation of the entry at p: the parent directory
+// keys the B-tree row-lock tracking, and its size (as charged by the
+// caller via dirEntries) feeds the page-depth surcharge.
+func writeInfo(p string, dirEntries int) opInfo {
+	return opInfo{cls: opWrite, dir: fs.ParentDir(p), dirSize: dirEntries}
+}
+
+// scanInfo prices one range scan (readdir, split probes).
+func scanInfo() opInfo { return opInfo{cls: opScan, dirSize: -1} }
 
 // hop performs one synchronous MDS-to-MDS call while serving a request:
 // coordination CPU on the caller, the interconnect round trip, and body
@@ -714,11 +820,33 @@ func (f *FS) hop(sp *sim.Proc, dst *shardSrv, body func(q *sim.Proc)) {
 // delivered them to every shard, the backup included.
 func (f *FS) commit(sp *sim.Proc, state, srv *shardSrv, kind fs.OpKind, path string) {
 	state.journalAppend(f.cfg.JournalCap, kind, path)
-	if !f.replicated() {
+	partner := f.mirrorPartner(state, srv, kind)
+	if partner < 0 {
 		return
 	}
+	ps := f.shards[partner]
+	f.MirrorCount++
+	sp.Sleep(f.cfg.CrossShardOverhead)
+	sp.Sleep(f.cfg.CrossShardLatency)
+	ps.peer.Do(sp, func(q *sim.Proc) {
+		q.Sleep(f.cfg.CrossShardOverhead)
+		f.chargeOp(q, ps, f.cfg.MirrorService, -1, opInfo{cls: opWrite, dirSize: -1})
+		ps.be.log(q, f.cfg.MetaLogBytes)
+	})
+	sp.Sleep(f.cfg.CrossShardLatency)
+}
+
+// mirrorPartner returns the replica partner a committed mutation on
+// slice state must mirror to, or -1 when no mirror is due: replication
+// off, a broadcast-replicated directory mutation under hash placement
+// (the broadcast already delivered it to every shard, the backup
+// included), or a partner that is down or is the serving server itself.
+func (f *FS) mirrorPartner(state, srv *shardSrv, kind fs.OpKind) int {
+	if !f.replicated() {
+		return -1
+	}
 	if f.cfg.Placement == PlaceHashDir && (kind == fs.OpMkdir || kind == fs.OpRmdir) {
-		return
+		return -1
 	}
 	partner := f.backupOf(state.index)
 	if f.serving[state.index] != state.index {
@@ -726,17 +854,70 @@ func (f *FS) commit(sp *sim.Proc, state, srv *shardSrv, kind fs.OpKind, path str
 	}
 	ps := f.shards[partner]
 	if !ps.up || ps == srv {
+		return -1
+	}
+	return partner
+}
+
+// persist pays the durability work of one applied mutation: the local
+// journal write (priced by the shard's backend) and the replication
+// mirror. With GroupCommitWindow zero it is exactly the pre-E30
+// per-op path — log, then commit. With a window, the mutation journals
+// at this same instant (the atomic-apply discipline: state and journal
+// move together), but the flush and mirror traffic fold into the shard's
+// open group-commit batch: the first mutation of a window becomes the
+// batch leader — it sleeps out the window, pays one batched flush and
+// one mirror round trip per replica partner, and wakes the others — and
+// every follower holds its worker slot until the leader's flush acks,
+// so no mutating RPC returns before its journal record is durable on
+// the backup. Servers' peer-pool work (mirror applies, migrate inserts)
+// never joins a batch, so a batch leader can always reach the partner's
+// peer pool and the wait graph stays acyclic.
+func (f *FS) persist(sp *sim.Proc, state, srv *shardSrv, kind fs.OpKind, path string, logBytes int64) {
+	w := f.cfg.GroupCommitWindow
+	if w <= 0 {
+		srv.be.log(sp, logBytes)
+		f.commit(sp, state, srv, kind, path)
 		return
 	}
-	f.MirrorCount++
-	sp.Sleep(f.cfg.CrossShardOverhead)
-	sp.Sleep(f.cfg.CrossShardLatency)
-	ps.peer.Do(sp, func(q *sim.Proc) {
-		q.Sleep(f.cfg.CrossShardOverhead)
-		f.charge(q, ps, f.cfg.MirrorService, -1)
-		ps.wafl.LogMetadata(q, f.cfg.MetaLogBytes)
-	})
-	sp.Sleep(f.cfg.CrossShardLatency)
+	state.journalAppend(f.cfg.JournalCap, kind, path)
+	partner := f.mirrorPartner(state, srv, kind)
+	if b := srv.gc; b != nil {
+		// Follower: join the open batch and wait out its flush.
+		b.add(logBytes, partner)
+		f.GroupCommitOps++
+		for !b.flushed {
+			b.done.Wait(sp)
+		}
+		return
+	}
+	// Leader: open a batch, absorb arrivals for one window, close it,
+	// then pay the batched flush and the per-partner mirror round trips.
+	b := &gcBatch{done: sim.NewCond(f.k, "groupcommit:"+strconv.Itoa(srv.index))}
+	srv.gc = b
+	b.add(logBytes, partner)
+	f.GroupCommits++
+	sp.Sleep(w)
+	srv.gc = nil // later arrivals open the next batch
+	srv.be.log(sp, b.bytes)
+	for _, m := range b.mirrors {
+		ps := f.shards[m.partner]
+		if !ps.up || ps == srv {
+			continue // the partner died inside the window: replay catches it up
+		}
+		f.MirrorCount++
+		count := m.count
+		sp.Sleep(f.cfg.CrossShardOverhead)
+		sp.Sleep(f.cfg.CrossShardLatency)
+		ps.peer.Do(sp, func(q *sim.Proc) {
+			q.Sleep(f.cfg.CrossShardOverhead)
+			f.chargeOp(q, ps, time.Duration(count)*f.cfg.MirrorService, -1, opInfo{cls: opWrite, dirSize: -1})
+			ps.be.log(q, count*f.cfg.MetaLogBytes)
+		})
+		sp.Sleep(f.cfg.CrossShardLatency)
+	}
+	b.flushed = true
+	b.done.Broadcast()
 }
 
 // replicate propagates a successful directory mutation to every other
@@ -765,8 +946,8 @@ func (f *FS) replicate(sp *sim.Proc, primary *shardSrv, svc time.Duration, apply
 		}
 		sh := sh
 		f.hop(sp, sh, func(q *sim.Proc) {
-			f.charge(q, sh, svc, -1)
-			sh.wafl.LogMetadata(q, f.cfg.MetaLogBytes)
+			f.chargeOp(q, sh, svc, -1, opInfo{cls: opWrite, dirSize: -1})
+			sh.be.log(q, f.cfg.MetaLogBytes)
 		})
 	}
 }
@@ -888,7 +1069,7 @@ func (c *client) resolveParents(p string) error {
 		}
 		var err error
 		cerr := c.call("lookup", prefix, f.ownerSlice(prefix), 120, 140, func(sp *sim.Proc, state, srv *shardSrv) {
-			f.service(sp, srv, cfg.LookupService, -1)
+			f.serviceOp(sp, srv, cfg.LookupService, -1, f.readInfo(state, prefix))
 			var a fs.Attr
 			a, err = state.ns.Stat(prefix)
 			if err == nil {
@@ -948,9 +1129,9 @@ func (c *client) Create(p string) error {
 			lock := state.dirLock(f.k, dir.Ino)
 			lock.Lock(sp)
 			defer lock.Unlock()
-			f.service(sp, srv, cfg.CreateService, dir.NumChildren())
+			f.serviceOp(sp, srv, cfg.CreateService, dir.NumChildren(), writeInfo(p, dir.NumChildren()))
 		} else {
-			f.service(sp, srv, cfg.CreateService, -1)
+			f.serviceOp(sp, srv, cfg.CreateService, -1, writeInfo(p, -1))
 		}
 		// Commit-instant re-resolution: the lock and charge waits above
 		// may have overlapped a split of the parent.
@@ -958,8 +1139,7 @@ func (c *client) Create(p string) error {
 		_, err = state.ns.Create(p, 0o644, sp.Now())
 		if err == nil {
 			f.revokeOnMutate(sp, c.st(), p, true)
-			srv.wafl.LogMetadata(sp, cfg.MetaLogBytes)
-			f.commit(sp, state, srv, fs.OpCreate, p)
+			f.persist(sp, state, srv, fs.OpCreate, p, cfg.MetaLogBytes)
 			if dir, lerr := state.ns.Lookup(fs.ParentDir(p)); lerr == nil {
 				f.maybeSplit(sp, fs.ParentDir(p), dir.NumChildren(), c.st())
 			}
@@ -996,10 +1176,10 @@ func (c *client) Mkdir(p string) error {
 		if dir, lerr := state.ns.Lookup(fs.ParentDir(p)); lerr == nil {
 			lock := state.dirLock(f.k, dir.Ino)
 			lock.Lock(sp)
-			f.service(sp, srv, cfg.MkdirService, dir.NumChildren())
+			f.serviceOp(sp, srv, cfg.MkdirService, dir.NumChildren(), writeInfo(p, dir.NumChildren()))
 			lock.Unlock()
 		} else {
-			f.service(sp, srv, cfg.MkdirService, -1)
+			f.serviceOp(sp, srv, cfg.MkdirService, -1, writeInfo(p, -1))
 		}
 		_, err = state.ns.Mkdir(p, 0o755, sp.Now())
 		if err == nil {
@@ -1010,8 +1190,7 @@ func (c *client) Mkdir(p string) error {
 				ns.Mkdir(p, 0o755, now)
 			})
 			f.revokeOnMutate(sp, c.st(), p, true)
-			srv.wafl.LogMetadata(sp, cfg.MetaLogBytes)
-			f.commit(sp, state, srv, fs.OpMkdir, p)
+			f.persist(sp, state, srv, fs.OpMkdir, p, cfg.MetaLogBytes)
 		}
 	})
 	if cerr != nil {
@@ -1047,7 +1226,7 @@ func (c *client) Rmdir(p string) error {
 	}
 	var err error
 	cerr := c.call("rmdir", p, slice, 150, 140, func(sp *sim.Proc, state, srv *shardSrv) {
-		f.service(sp, srv, cfg.RemoveService, -1)
+		f.serviceOp(sp, srv, cfg.RemoveService, -1, writeInfo(p, -1))
 		// A split directory is empty only when every partition slice
 		// agrees: the peer replicas are checked logically before the
 		// removal commits (no time may pass between check and apply),
@@ -1063,10 +1242,10 @@ func (c *client) Rmdir(p string) error {
 				switch {
 				case !peer.up:
 				case peer == srv:
-					f.charge(sp, peer, cfg.ReaddirService, -1)
+					f.chargeOp(sp, peer, cfg.ReaddirService, -1, scanInfo())
 				default:
 					f.hop(sp, peer, func(q *sim.Proc) {
-						f.charge(q, peer, cfg.ReaddirService, -1)
+						f.chargeOp(q, peer, cfg.ReaddirService, -1, scanInfo())
 					})
 				}
 			}
@@ -1089,8 +1268,7 @@ func (c *client) Rmdir(p string) error {
 			})
 			f.revokeOnMutate(sp, c.st(), p, true)
 			f.dropDelegation(p)
-			srv.wafl.LogMetadata(sp, cfg.MetaLogBytes)
-			f.commit(sp, state, srv, fs.OpRmdir, p)
+			f.persist(sp, state, srv, fs.OpRmdir, p, cfg.MetaLogBytes)
 			payProbes()
 		}
 	})
@@ -1121,16 +1299,15 @@ func (c *client) Unlink(p string) error {
 			lock := state.dirLock(f.k, dir.Ino)
 			lock.Lock(sp)
 			defer lock.Unlock()
-			f.service(sp, srv, cfg.RemoveService, dir.NumChildren())
+			f.serviceOp(sp, srv, cfg.RemoveService, dir.NumChildren(), writeInfo(p, dir.NumChildren()))
 		} else {
-			f.service(sp, srv, cfg.RemoveService, -1)
+			f.serviceOp(sp, srv, cfg.RemoveService, -1, writeInfo(p, -1))
 		}
 		state = f.entryState(p) // the waits above may have overlapped a split
 		err = state.ns.Unlink(p, sp.Now())
 		if err == nil {
 			f.revokeOnMutate(sp, c.st(), p, true)
-			srv.wafl.LogMetadata(sp, cfg.MetaLogBytes)
-			f.commit(sp, state, srv, fs.OpUnlink, p)
+			f.persist(sp, state, srv, fs.OpUnlink, p, cfg.MetaLogBytes)
 		}
 	})
 	if cerr != nil {
@@ -1183,9 +1360,9 @@ func (c *client) Rename(oldPath, newPath string) error {
 				lock := state.dirLock(f.k, dir.Ino)
 				lock.Lock(sp)
 				defer lock.Unlock()
-				f.service(sp, srv, cfg.RenameService, dir.NumChildren())
+				f.serviceOp(sp, srv, cfg.RenameService, dir.NumChildren(), writeInfo(oldPath, dir.NumChildren()))
 			} else {
-				f.service(sp, srv, cfg.RenameService, -1)
+				f.serviceOp(sp, srv, cfg.RenameService, -1, writeInfo(oldPath, -1))
 			}
 			// Commit-instant re-resolution; no virtual time passes from
 			// here to ns.Rename. When a mid-flight split separated the
@@ -1226,8 +1403,7 @@ func (c *client) Rename(oldPath, newPath string) error {
 						f.revokeSubtree(sp, c.st(), oldPath, f.ownerSlice(oldPath))
 					}
 				}
-				srv.wafl.LogMetadata(sp, cfg.MetaLogBytes)
-				f.commit(sp, state, srv, fs.OpRename, newPath)
+				f.persist(sp, state, srv, fs.OpRename, newPath, cfg.MetaLogBytes)
 				// The rename inserted an entry at the destination parent:
 				// it can push that directory over the split threshold
 				// just like a create.
@@ -1264,7 +1440,8 @@ func (c *client) Rename(oldPath, newPath string) error {
 				// split landing while this request queued may have
 				// re-homed either entry.
 				srcState := f.entryState(oldPath)
-				f.service(sp, srv, cfg.RenameService, dirEntries(srcState.ns, oldPath))
+				srcN := dirEntries(srcState.ns, oldPath)
+				f.serviceOp(sp, srv, cfg.RenameService, srcN, writeInfo(oldPath, srcN))
 				srcState = f.entryState(oldPath) // the charge may have overlapped a split
 				var a fs.Attr
 				a, err = srcState.ns.Stat(oldPath)
@@ -1284,7 +1461,8 @@ func (c *client) Rename(oldPath, newPath string) error {
 				}
 				// Phase 1: insert at the destination shard.
 				f.hop(sp, dstSrv, func(q *sim.Proc) {
-					f.charge(q, dstSrv, cfg.RenameService, dirEntries(dstState.ns, newPath))
+					dstN := dirEntries(dstState.ns, newPath)
+					f.chargeOp(q, dstSrv, cfg.RenameService, dstN, writeInfo(newPath, dstN))
 					// Commit-instant re-resolution after the hop+charge
 					// waits.
 					dstState = f.entryState(newPath)
@@ -1299,7 +1477,11 @@ func (c *client) Rename(oldPath, newPath string) error {
 							dstState.ns.SetSize(ni.Ino, a.Size, q.Now())
 						}
 						f.revokeOnMutate(q, c.st(), newPath, true)
-						dstSrv.wafl.LogMetadata(q, cfg.MetaLogBytes)
+						// The destination insert commits per-op even under
+						// group commit: it runs on the peer pool, and peer
+						// work must never wait on a batch whose leader may
+						// need this very pool for its mirror round trip.
+						dstSrv.be.log(q, cfg.MetaLogBytes)
 						f.commit(q, dstState, dstSrv, fs.OpRename, newPath)
 					}
 				})
@@ -1307,13 +1489,13 @@ func (c *client) Rename(oldPath, newPath string) error {
 					return
 				}
 				// Phase 2: remove at the source shard.
-				f.charge(sp, srcState, cfg.RemoveService, dirEntries(srcState.ns, oldPath))
+				rmN := dirEntries(srcState.ns, oldPath)
+				f.chargeOp(sp, srcState, cfg.RemoveService, rmN, writeInfo(oldPath, rmN))
 				srcState = f.entryState(oldPath) // commit-instant re-resolution
 				err = srcState.ns.Unlink(oldPath, sp.Now())
 				if err == nil {
 					f.revokeOnMutate(sp, c.st(), oldPath, true)
-					srv.wafl.LogMetadata(sp, cfg.MetaLogBytes)
-					f.commit(sp, srcState, srv, fs.OpUnlink, oldPath)
+					f.persist(sp, srcState, srv, fs.OpUnlink, oldPath, cfg.MetaLogBytes)
 					// The migrate grew the destination parent; trigger
 					// from the coordinator, never from inside the hop —
 					// a split hops to peer pools itself, and peer-pool
@@ -1356,7 +1538,7 @@ func (c *client) Link(oldPath, newPath string) error {
 	defer imutex.Unlock()
 	var err error
 	cerr := c.callEntry("link", newPath, 150, 140, func(sp *sim.Proc, state, srv *shardSrv) {
-		f.service(sp, srv, cfg.CreateService, -1)
+		f.serviceOp(sp, srv, cfg.CreateService, -1, writeInfo(newPath, -1))
 		// Commit-instant re-check: a split landing while this request
 		// queued or charged can separate the two names' partitions.
 		state = f.entryState(newPath)
@@ -1369,8 +1551,7 @@ func (c *client) Link(oldPath, newPath string) error {
 			// The link bumps the target's nlink: both names go stale.
 			f.revokeOnMutate(sp, c.st(), oldPath, false)
 			f.revokeOnMutate(sp, c.st(), newPath, true)
-			srv.wafl.LogMetadata(sp, cfg.MetaLogBytes)
-			f.commit(sp, state, srv, fs.OpLink, newPath)
+			f.persist(sp, state, srv, fs.OpLink, newPath, cfg.MetaLogBytes)
 			if dir, lerr := state.ns.Lookup(fs.ParentDir(newPath)); lerr == nil {
 				f.maybeSplit(sp, fs.ParentDir(newPath), dir.NumChildren(), c.st())
 			}
@@ -1398,13 +1579,12 @@ func (c *client) Symlink(target, linkPath string) error {
 	defer imutex.Unlock()
 	var err error
 	cerr := c.callEntry("symlink", linkPath, 150, 140, func(sp *sim.Proc, state, srv *shardSrv) {
-		f.service(sp, srv, cfg.CreateService, -1)
+		f.serviceOp(sp, srv, cfg.CreateService, -1, writeInfo(linkPath, -1))
 		state = f.entryState(linkPath) // the charge may have overlapped a split
 		_, err = state.ns.Symlink(target, linkPath, sp.Now())
 		if err == nil {
 			f.revokeOnMutate(sp, c.st(), linkPath, true)
-			srv.wafl.LogMetadata(sp, cfg.MetaLogBytes)
-			f.commit(sp, state, srv, fs.OpSymlink, linkPath)
+			f.persist(sp, state, srv, fs.OpSymlink, linkPath, cfg.MetaLogBytes)
 			if dir, lerr := state.ns.Lookup(fs.ParentDir(linkPath)); lerr == nil {
 				f.maybeSplit(sp, fs.ParentDir(linkPath), dir.NumChildren(), c.st())
 			}
@@ -1436,7 +1616,7 @@ func (c *client) Stat(p string) (fs.Attr, error) {
 	var a fs.Attr
 	var err error
 	cerr := c.callEntry("stat", p, 120, 140, func(sp *sim.Proc, state, srv *shardSrv) {
-		f.service(sp, srv, cfg.GetattrService, -1)
+		f.serviceOp(sp, srv, cfg.GetattrService, -1, f.readInfo(state, p))
 		state = f.entryState(p) // the charge may have overlapped a split
 		a, err = state.ns.Stat(p)
 		if err == nil {
@@ -1466,7 +1646,7 @@ func (c *client) Open(p string) (fs.Handle, error) {
 	if !ok {
 		var err error
 		cerr := c.callEntry("open", p, 120, 140, func(sp *sim.Proc, state, srv *shardSrv) {
-			f.service(sp, srv, cfg.LookupService, -1)
+			f.serviceOp(sp, srv, cfg.LookupService, -1, f.readInfo(state, p))
 			state = f.entryState(p) // the charge may have overlapped a split
 			var a fs.Attr
 			a, err = state.ns.Stat(p)
@@ -1558,7 +1738,7 @@ func (c *client) flush(of *openFile) error {
 	id := entryID{of.slice, of.ino}
 	cerr := c.callEntry("write", of.path, 120+written, 140, func(sp *sim.Proc, state, srv *shardSrv) {
 		t := time.Duration(float64(cfg.WriteServicePerKB) * float64(written) / 1024)
-		f.service(sp, srv, t, -1)
+		f.serviceOp(sp, srv, t, -1, opInfo{cls: opWrite, dirSize: -1})
 		// Chase the handle's incarnation across split migrations, then
 		// write through the inode, wherever its name has gone: a rename
 		// keeps the inode alive (the write must land, POSIX fd
@@ -1576,8 +1756,7 @@ func (c *client) flush(of *openFile) error {
 		// Size and mtime changed: other holders' attribute leases die;
 		// the parent directory is untouched by a content write.
 		f.revokeOnMutate(sp, c.st(), of.path, false)
-		srv.wafl.LogMetadata(sp, cfg.MetaLogBytes+written)
-		f.commit(sp, state, srv, fs.OpWrite, of.path)
+		f.persist(sp, state, srv, fs.OpWrite, of.path, cfg.MetaLogBytes+written)
 	})
 	if cerr != nil {
 		return cerr
@@ -1636,10 +1815,10 @@ func (c *client) ReadDir(p string) ([]fs.DirEntry, error) {
 		cerr := c.call("readdir", p, homeSlice, 130, 260, func(sp *sim.Proc, home, srv *shardSrv) {
 			ents, err = home.ns.ReadDir(p, sp.Now())
 			if err != nil {
-				f.service(sp, srv, cfg.ReaddirService, -1)
+				f.serviceOp(sp, srv, cfg.ReaddirService, -1, scanInfo())
 				return
 			}
-			f.service(sp, srv, readdirCost(cfg, len(ents)), -1)
+			f.serviceOp(sp, srv, readdirCost(cfg, len(ents)), -1, scanInfo())
 			for i := range f.shards {
 				if i == homeSlice {
 					continue
@@ -1651,7 +1830,7 @@ func (c *client) ReadDir(p string) ([]fs.DirEntry, error) {
 					// too: merge locally, no interconnect hop.
 					more, merr := state.ns.ReadDir(p, sp.Now())
 					if merr == nil {
-						f.charge(sp, srv, readdirCost(cfg, len(more)), -1)
+						f.chargeOp(sp, srv, readdirCost(cfg, len(more)), -1, scanInfo())
 						ents = append(ents, more...)
 					}
 					continue
@@ -1668,7 +1847,7 @@ func (c *client) ReadDir(p string) ([]fs.DirEntry, error) {
 					if merr != nil {
 						return
 					}
-					f.charge(q, peer, readdirCost(cfg, len(more)), -1)
+					f.chargeOp(q, peer, readdirCost(cfg, len(more)), -1, scanInfo())
 					ents = append(ents, more...)
 				})
 			}
@@ -1683,10 +1862,10 @@ func (c *client) ReadDir(p string) ([]fs.DirEntry, error) {
 	cerr := c.call("readdir", p, slice, 130, 260, func(sp *sim.Proc, state, srv *shardSrv) {
 		ents, err = state.ns.ReadDir(p, sp.Now())
 		if err != nil {
-			f.service(sp, srv, cfg.ReaddirService, -1)
+			f.serviceOp(sp, srv, cfg.ReaddirService, -1, scanInfo())
 			return
 		}
-		f.service(sp, srv, readdirCost(cfg, len(ents)), -1)
+		f.serviceOp(sp, srv, readdirCost(cfg, len(ents)), -1, scanInfo())
 	})
 	if cerr != nil {
 		return nil, cerr

@@ -243,20 +243,28 @@ func (f *FS) split(sp *sim.Proc, dir string, ds *dirSplit, mutator *nodeState) {
 		logBytes := int64(b.moved) * f.cfg.MetaLogBytes
 		srcSrv := f.srvFor(b.src)
 		dstSrv := f.srvFor(b.dst)
-		f.charge(sp, srcSrv, cost, -1)
+		f.chargeOp(sp, srcSrv, cost, -1, scanInfo())
+		// The destination side is a bulk ingest into the backend: the
+		// backend's move factor scales it (cheap append on an LSM store,
+		// random inserts on a B-tree), computed from the unscaled cost so
+		// the default backend stays byte-identical.
+		dstCost := cost
+		if mf := dstSrv.be.moveFactor(); mf != 1 {
+			dstCost = time.Duration(float64(cost) * mf)
+		}
 		switch {
 		case dstSrv.up && dstSrv != srcSrv:
 			dst := dstSrv
 			f.hop(sp, dst, func(q *sim.Proc) {
-				f.charge(q, dst, cost, -1)
-				dst.wafl.LogMetadata(q, logBytes)
+				f.charge(q, dst, dstCost, -1)
+				dst.be.log(q, logBytes)
 			})
 		case dstSrv.up:
 			// A failover co-located both slices on one server: the
 			// destination work is local, no interconnect hop — the same
 			// rule as splitFanout's peer==srv branch.
-			f.charge(sp, dstSrv, cost, -1)
-			dstSrv.wafl.LogMetadata(sp, logBytes)
+			f.charge(sp, dstSrv, dstCost, -1)
+			dstSrv.be.log(sp, logBytes)
 		}
 	}
 	if len(victims) > 0 {
@@ -398,7 +406,7 @@ func (c *client) routeEntry(p string) {
 		f.Bounces++
 		srv := f.srvFor(guess)
 		f.conn(c.node, srv).TryCall(c.p, 120, 90, func(sp *sim.Proc) {
-			f.service(sp, srv, f.cfg.LookupService, -1)
+			f.serviceOp(sp, srv, f.cfg.LookupService, -1, opInfo{cls: opRead, dirSize: -1})
 		})
 	}
 	c.learnSplit(dir, authLevel)
@@ -483,10 +491,10 @@ func (c *client) splitFanout(op, p string, reqBytes, respBytes int64,
 		var list []fs.DirEntry
 		list, err = home.ns.ReadDir(p, sp.Now())
 		if err != nil {
-			f.service(sp, srv, cfg.ReaddirService, -1)
+			f.serviceOp(sp, srv, cfg.ReaddirService, -1, scanInfo())
 			return
 		}
-		f.service(sp, srv, cost(len(list)), -1)
+		f.serviceOp(sp, srv, cost(len(list)), -1, scanInfo())
 		merge(sp, home, list, false)
 		for _, s := range slices[1:] {
 			peer := f.srvFor(s)
@@ -496,7 +504,7 @@ func (c *client) splitFanout(op, p string, reqBytes, respBytes int64,
 				// merge locally, no interconnect hop.
 				more, merr := state.ns.ReadDir(p, sp.Now())
 				if merr == nil {
-					f.charge(sp, srv, cost(len(more)), -1)
+					f.chargeOp(sp, srv, cost(len(more)), -1, scanInfo())
 					merge(sp, state, more, true)
 				}
 				continue
@@ -510,7 +518,7 @@ func (c *client) splitFanout(op, p string, reqBytes, respBytes int64,
 				if merr != nil {
 					return
 				}
-				f.charge(q, peer, cost(len(more)), -1)
+				f.chargeOp(q, peer, cost(len(more)), -1, scanInfo())
 				merge(q, state, more, true)
 			})
 		}

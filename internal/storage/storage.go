@@ -10,6 +10,15 @@
 // operations append cheaply to NVRAM until a consistency point is
 // triggered (half-full NVRAM or a 10 s timer); during the CP, service is
 // slowed by a configurable factor while dirty data drains to disk.
+//
+// This package is the *device* layer: it prices raw log appends, disk
+// I/O and consistency points, and it does not know what a metadata
+// operation is. The per-operation storage pricing of the sharded MDS —
+// which backend a shard runs on, write amplification, compaction
+// stalls, page-depth and lock penalties — lives one level up in
+// internal/shard's backend layer (shard/backend.go), which *uses* a
+// WAFL instance from this package as its journal device. Changing a
+// shard backend never changes this package's behaviour.
 package storage
 
 import (

@@ -12,8 +12,8 @@
 #
 # The snapshot records ns/op, B/op and allocs/op for the simulator
 # substrate benchmarks plus the fault-injection (E19–E21), cache-
-# coherence (E22–E24) and directory-splitting (E25–E27) experiments,
-# and the toolchain and commit that
+# coherence (E22–E24), directory-splitting (E25–E27) and storage-
+# backend (E28–E30) experiments, and the toolchain and commit that
 # produced it, so future PRs have a perf trajectory to compare against
 # (see DESIGN.md, "Performance-regression workflow"). The experiment
 # entries record the real-time cost of full experiment runs plus their
@@ -31,11 +31,12 @@ cd "$(dirname "$0")/.."
 outdir="."
 count=1
 suite=1
-substrate='BenchmarkSimulatedCreate$|BenchmarkShardedCreate$|BenchmarkCachedGetattr$|BenchmarkSplitCreate$|BenchmarkNamespaceCreate$|BenchmarkRunnerMeasurement$'
+substrate='BenchmarkSimulatedCreate$|BenchmarkShardedCreate$|BenchmarkCachedGetattr$|BenchmarkSplitCreate$|BenchmarkBackendCreate$|BenchmarkNamespaceCreate$|BenchmarkRunnerMeasurement$'
 failover='BenchmarkE19Failover$|BenchmarkE20ReplicationOverhead$|BenchmarkE21RecoveryScaling$'
 coherence='BenchmarkE22LeaseTTL$|BenchmarkE23CacheModes$|BenchmarkE24FailoverCachedLoad$'
 split='BenchmarkE25SplitScaling$|BenchmarkE26SplitStorm$|BenchmarkE27SplitRouting$'
-pattern="$substrate|$failover|$coherence|$split"
+backend='BenchmarkE28BackendProfile$|BenchmarkE29CompactionTimeline$|BenchmarkE30GroupCommit$'
+pattern="$substrate|$failover|$coherence|$split|$backend"
 while [ $# -gt 0 ]; do
 	case "$1" in
 	-count)

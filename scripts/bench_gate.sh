@@ -2,9 +2,10 @@
 # bench_gate.sh — benchmark regression gate for CI.
 #
 # Runs the substrate benchmarks into a fresh snapshot (bench-out/ by
-# default), compares BenchmarkSimulatedCreate, BenchmarkCachedGetattr
-# and BenchmarkSplitCreate ns/op against the newest committed
-# BENCH_*.json in the repo root, and for each gated benchmark
+# default), compares BenchmarkSimulatedCreate, BenchmarkCachedGetattr,
+# BenchmarkSplitCreate and BenchmarkBackendCreate ns/op against the
+# newest committed BENCH_*.json in the repo root, and for each gated
+# benchmark
 #
 #   - fails (exit 1) on a regression worse than 2x,
 #   - warns on any regression above 15%,
@@ -54,7 +55,7 @@ extract() {
 }
 
 status=0
-for bench in BenchmarkSimulatedCreate BenchmarkCachedGetattr BenchmarkSplitCreate; do
+for bench in BenchmarkSimulatedCreate BenchmarkCachedGetattr BenchmarkSplitCreate BenchmarkBackendCreate; do
 	base_ns=$(extract "$baseline" "$bench")
 	new_ns=$(extract "$fresh" "$bench")
 	if [ -z "$new_ns" ]; then
