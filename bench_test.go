@@ -290,6 +290,108 @@ func BenchmarkShardedCreate(b *testing.B) {
 	}
 }
 
+// BenchmarkDomainCreate measures the real-time cost of one simulated
+// create on the domained sharded MDS (8 shards partitioned into 9
+// event-kernel domains, 8 concurrent client processes): the
+// conservative-lookahead substrate — window barriers, cross-domain
+// mailboxes, rendezvous RPCs — on top of the BenchmarkShardedCreate
+// path, gated alongside it.
+func BenchmarkDomainCreate(b *testing.B) {
+	k := sim.New(1)
+	cl := cluster.New(k, cluster.DefaultConfig(8))
+	cfg := shard.DefaultConfig(8)
+	cfg.Domains = 9
+	fsys := shard.New(k, "bench", cfg)
+	per := b.N/8 + 1
+	for c := 0; c < 8; c++ {
+		c := c
+		k.Spawn(fmt.Sprintf("creator-%d", c), func(p *sim.Proc) {
+			cli := fsys.NewClient(cl.Nodes[c], p)
+			cli.Mkdir(fmt.Sprintf("/d%d", c))
+			for i := 0; i < per; i++ {
+				if i%5000 == 0 {
+					cli.Mkdir(fmt.Sprintf("/d%d/s%d", c, i/5000))
+				}
+				cli.Create(fmt.Sprintf("/d%d/s%d/%d", c, i/5000, i))
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// domainedCell runs one heavy replicated 8-shard cell — E20's 16-node x
+// 4-process create load — with the given domain partitioning and worker
+// pool, and returns the FS for counter readout.
+func domainedCell(domains, workers int) *shard.FS {
+	k := sim.New(1600)
+	cl := cluster.New(k, cluster.DefaultConfig(16))
+	cfg := shard.DefaultConfig(8)
+	cfg.Replicate = true
+	cfg.Domains = domains
+	fsys := shard.New(k, "bench", cfg)
+	if g := fsys.Group(); g != nil && workers > 0 {
+		g.Workers = workers
+	}
+	r := &core.Runner{
+		Cluster:      cl,
+		FS:           fsys,
+		Params:       core.Params{ProblemSize: 500, WorkDir: "/"},
+		SlotsPerNode: 4,
+		Plugins:      []core.Plugin{core.MakeFiles{}},
+		Filter:       func(c core.Combo) bool { return c.Nodes == 16 && c.PPN == 4 },
+	}
+	if _, err := r.Run(); err != nil {
+		panic(err)
+	}
+	return fsys
+}
+
+// BenchmarkDomainedCell measures the wall-clock of one heavy replicated
+// 8-shard cell on the single-heap kernel vs partitioned into 9 kernel
+// domains (8 shard domains + the client domain) on a full worker pool.
+// The domained runs additionally report their parallelism headroom:
+// total events dispatched divided by the busiest domain's share — the
+// wall-clock speedup bound an ideal multi-core run converges to (see
+// DESIGN.md, "Parallel DES"). On a single-core host the domained
+// wall-clock shows pure protocol overhead; the headroom metric is
+// hardware-independent.
+func BenchmarkDomainedCell(b *testing.B) {
+	headroom := func(f *shard.FS) float64 {
+		g := f.Group()
+		var tot, max int64
+		for i := 0; i < g.NumDomains(); i++ {
+			d := g.Kernel(i).Dispatched()
+			tot += d
+			if d > max {
+				max = d
+			}
+		}
+		return float64(tot) / float64(max)
+	}
+	b.Run("single-heap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			domainedCell(0, 0)
+		}
+	})
+	b.Run("domains-9-workers-1", func(b *testing.B) {
+		var f *shard.FS
+		for i := 0; i < b.N; i++ {
+			f = domainedCell(9, 1)
+		}
+		b.ReportMetric(headroom(f), "headroomx")
+	})
+	b.Run("domains-9-workers-8", func(b *testing.B) {
+		var f *shard.FS
+		for i := 0; i < b.N; i++ {
+			f = domainedCell(9, 8)
+		}
+		b.ReportMetric(headroom(f), "headroomx")
+	})
+}
+
 // BenchmarkCachedGetattr measures the real-time cost of one coherent
 // cache hit: a stat served from a live lease on the sharded MDS model
 // (4 shards, lease mode) — the fast path every E22–E24 run spends most

@@ -17,20 +17,26 @@ import (
 
 // runAndSave executes one canonical Runner experiment with the given seed
 // and returns the serialized result set as a map of file name to content.
-func runAndSave(t *testing.T, seed int64, mode string) map[string]string {
+// domains > 1 partitions the shard-mode simulations into that many kernel
+// domains with the given worker-pool size; both are ignored for the
+// non-shard modes.
+func runAndSave(t *testing.T, seed int64, mode string, domains, workers int) map[string]string {
 	t.Helper()
 	k := sim.New(seed)
 	cl := cluster.New(k, cluster.DefaultConfig(2))
 	var r *Runner
+	var shardFS *shard.FS
 	switch mode {
 	case "shard-hash", "shard-subtree":
 		cfg := shard.DefaultConfig(4)
+		cfg.Domains = domains
 		if mode == "shard-subtree" {
 			cfg.Placement = shard.PlaceSubtree
 		}
+		shardFS = shard.New(k, "meta", cfg)
 		r = &Runner{
 			Cluster:      cl,
-			FS:           shard.New(k, "meta", cfg),
+			FS:           shardFS,
 			Params:       Params{ProblemSize: 200, WorkDir: "/bench"},
 			SlotsPerNode: 2,
 			// ZipfDirFiles exercises broadcasts and skewed routing;
@@ -48,7 +54,9 @@ func runAndSave(t *testing.T, seed int64, mode string) map[string]string {
 		cfg := shard.DefaultConfig(4)
 		cfg.Replicate = true
 		cfg.TakeoverDetect = 100 * time.Millisecond
+		cfg.Domains = domains
 		fsys := shard.New(k, "meta", cfg)
+		shardFS = fsys
 		plan := (&fault.Plan{}).Outage(200*time.Millisecond, 700*time.Millisecond, 1)
 		r = &Runner{
 			Cluster: cl,
@@ -73,7 +81,9 @@ func runAndSave(t *testing.T, seed int64, mode string) map[string]string {
 		cfg.TrackStaleness = true
 		cfg.LeaseTTL = 2 * time.Second
 		cfg.TakeoverDetect = 100 * time.Millisecond
+		cfg.Domains = domains
 		fsys := shard.New(k, "meta", cfg)
+		shardFS = fsys
 		plan := (&fault.Plan{}).Outage(300*time.Millisecond, 900*time.Millisecond, 1)
 		r = &Runner{
 			Cluster: cl,
@@ -101,7 +111,9 @@ func runAndSave(t *testing.T, seed int64, mode string) map[string]string {
 		cfg.TrackStaleness = true
 		cfg.LeaseTTL = 2 * time.Second
 		cfg.TakeoverDetect = 100 * time.Millisecond
+		cfg.Domains = domains
 		fsys := shard.New(k, "meta", cfg)
+		shardFS = fsys
 		plan := (&fault.Plan{}).Outage(150*time.Millisecond, 800*time.Millisecond, 1)
 		r = &Runner{
 			Cluster: cl,
@@ -126,7 +138,9 @@ func runAndSave(t *testing.T, seed int64, mode string) map[string]string {
 		cfg.LSM.CompactEvery = 32 << 10
 		cfg.GroupCommitWindow = time.Millisecond
 		cfg.TakeoverDetect = 100 * time.Millisecond
+		cfg.Domains = domains
 		fsys := shard.New(k, "meta", cfg)
+		shardFS = fsys
 		plan := (&fault.Plan{}).Outage(200*time.Millisecond, 700*time.Millisecond, 1)
 		r = &Runner{
 			Cluster: cl,
@@ -159,6 +173,9 @@ func runAndSave(t *testing.T, seed int64, mode string) map[string]string {
 			Plugins:          []Plugin{MakeFiles{}, StatFiles{}, DeleteFiles{}},
 			CollectLatencies: true,
 		}
+	}
+	if shardFS != nil && shardFS.Group() != nil && workers > 0 {
+		shardFS.Group().Workers = workers
 	}
 	set, err := r.Run()
 	if err != nil {
@@ -203,21 +220,67 @@ func TestRunnerDeterministic(t *testing.T) {
 		"shard-failover", "shard-coherent", "shard-split", "shard-lsm",
 	} {
 		t.Run(mode, func(t *testing.T) {
-			a := runAndSave(t, 77, mode)
-			b := runAndSave(t, 77, mode)
-			if len(a) != len(b) {
-				t.Fatalf("file counts differ: %d vs %d", len(a), len(b))
-			}
-			names := make([]string, 0, len(a))
-			for n := range a {
-				names = append(names, n)
-			}
-			sort.Strings(names)
-			for _, n := range names {
-				if a[n] != b[n] {
-					t.Errorf("%s differs between identically-seeded runs", n)
-				}
-			}
+			diffSets(t,
+				runAndSave(t, 77, mode, 0, 0),
+				runAndSave(t, 77, mode, 0, 0),
+				"identically-seeded runs")
+		})
+	}
+}
+
+// diffSets fails the test if the two serialized result sets are not
+// byte-identical.
+func diffSets(t *testing.T, a, b map[string]string, what string) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("file counts differ between %s: %d vs %d", what, len(a), len(b))
+	}
+	names := make([]string, 0, len(a))
+	for n := range a {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if a[n] != b[n] {
+			t.Errorf("%s differs between %s", n, what)
+		}
+	}
+}
+
+// shardModes are the TestRunnerDeterministic modes that run on the
+// sharded MDS model and therefore support kernel domains.
+var shardModes = []string{
+	"shard-hash", "shard-subtree", "shard-failover",
+	"shard-coherent", "shard-split", "shard-lsm",
+}
+
+// TestRunnerDeterministicDomains is the parallel-DES determinism matrix:
+// every shard mode of TestRunnerDeterministic is run partitioned into 5
+// kernel domains (4 shard domains + the client domain) and byte-diffed
+// between a single worker thread and a full pool. Takeovers, lease
+// revocations, splits and LSM compactions must all land at identical
+// virtual times no matter how the domains are scheduled onto OS threads.
+func TestRunnerDeterministicDomains(t *testing.T) {
+	for _, mode := range shardModes {
+		t.Run(mode, func(t *testing.T) {
+			diffSets(t,
+				runAndSave(t, 77, mode, 5, 1),
+				runAndSave(t, 77, mode, 5, 8),
+				"1-worker and 8-worker domained runs")
+		})
+	}
+}
+
+// TestRunnerDomainsDisabledIsLegacy pins the compatibility contract:
+// Domains<=1 must be byte-identical to the single-heap kernel, so the
+// committed experiment corpus stays reproducible with the feature off.
+func TestRunnerDomainsDisabledIsLegacy(t *testing.T) {
+	for _, mode := range shardModes {
+		t.Run(mode, func(t *testing.T) {
+			diffSets(t,
+				runAndSave(t, 77, mode, 0, 0),
+				runAndSave(t, 77, mode, 1, 1),
+				"Domains=0 and Domains=1 runs")
 		})
 	}
 }

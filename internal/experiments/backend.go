@@ -49,7 +49,7 @@ func E28BackendProfile() *Report {
 		cfg.CacheMode = shard.CacheNone
 		k := sim.New(2800)
 		cl := cluster.New(k, cluster.DefaultConfig(1))
-		fsys := shard.New(k, "meta", cfg)
+		fsys := newShardFS(k, "meta", cfg)
 		var p probe
 		k.Spawn("probe", func(sp *sim.Proc) {
 			c := fsys.NewClient(cl.Nodes[0], sp)
@@ -179,7 +179,7 @@ func E29CompactionTimeline() *Report {
 		cfg.LSM.CompactEvery = compactEvery
 		k := sim.New(seed)
 		cl := cluster.New(k, cluster.DefaultConfig(8))
-		fsys := shard.New(k, "meta", cfg)
+		fsys := newShardFS(k, "meta", cfg)
 		var benchStart time.Duration
 		rn := &core.Runner{
 			Cluster: cl,
@@ -323,7 +323,7 @@ func E30GroupCommit() *Report {
 		cfg := mkCfg(true, w)
 		k := sim.New(3001)
 		cl := cluster.New(k, cluster.DefaultConfig(1))
-		fsys := shard.New(k, "meta", cfg)
+		fsys := newShardFS(k, "meta", cfg)
 		var c0 lcell
 		k.Spawn("probe", func(sp *sim.Proc) {
 			c := fsys.NewClient(cl.Nodes[0], sp)

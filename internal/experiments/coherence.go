@@ -40,7 +40,7 @@ func e22Load(skew float64) core.StatMutateFiles {
 func runCoherence(seed int64, cfg shard.Config, plugin core.Plugin, problem int) (*results.Set, *shard.FS) {
 	k := sim.New(seed)
 	cl := cluster.New(k, cluster.DefaultConfig(8))
-	fsys := shard.New(k, "meta", cfg)
+	fsys := newShardFS(k, "meta", cfg)
 	r := &core.Runner{
 		Cluster:      cl,
 		FS:           fsys,
@@ -286,7 +286,7 @@ func E24FailoverCachedLoad() *Report {
 		cfg.CrashInvalidate = invalidate
 		k := sim.New(seed)
 		cl := cluster.New(k, cluster.DefaultConfig(8))
-		fsys := shard.New(k, "meta", cfg)
+		fsys := newShardFS(k, "meta", cfg)
 		rn := &core.Runner{
 			Cluster: cl,
 			FS:      fsys,

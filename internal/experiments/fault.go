@@ -31,7 +31,7 @@ func shardTimedRun(seed int64, cfg shard.Config, window time.Duration,
 
 	k := sim.New(seed)
 	cl := cluster.New(k, cluster.DefaultConfig(8))
-	fsys := shard.New(k, "meta", cfg)
+	fsys := newShardFS(k, "meta", cfg)
 	r := &core.Runner{
 		Cluster: cl,
 		FS:      fsys,
@@ -226,7 +226,7 @@ func E21RecoveryScaling() *Report {
 		cfg.ReplayPerEntry = 50 * time.Microsecond // slow store: replay dominates past ~4k entries
 		k := sim.New(2100)
 		cl := cluster.New(k, cluster.DefaultConfig(1))
-		fsys := shard.New(k, "meta", cfg)
+		fsys := newShardFS(k, "meta", cfg)
 		// Find a directory whose files (and itself) live on shard 0.
 		dir := ""
 		for i := 0; i < 256; i++ {

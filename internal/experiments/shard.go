@@ -43,7 +43,7 @@ func e16SubtreeAssign(n int) map[string]int {
 func runSharded(seed int64, cfg shard.Config, plugin core.Plugin, problem int) (*results.Set, *shard.FS) {
 	k := sim.New(seed)
 	cl := cluster.New(k, cluster.DefaultConfig(16))
-	fsys := shard.New(k, "meta", cfg)
+	fsys := newShardFS(k, "meta", cfg)
 	r := &core.Runner{
 		Cluster:      cl,
 		FS:           fsys,
@@ -228,7 +228,7 @@ func E18CrossShard() *Report {
 	probeRename := func() renameProbe {
 		k := sim.New(1801)
 		cl := cluster.New(k, cluster.DefaultConfig(1))
-		fsys := shard.New(k, "meta", shard.DefaultConfig(8))
+		fsys := newShardFS(k, "meta", shard.DefaultConfig(8))
 		// Probe the routing for a same-shard and a cross-shard directory
 		// pair before spawning any load.
 		var local, remote string
@@ -287,7 +287,7 @@ func E18CrossShard() *Report {
 		cfg := shard.DefaultConfig(8)
 		cfg.Placement = shard.PlaceSubtree
 		cfg.SubtreeAssign = e16SubtreeAssign(8)
-		fsys2 := shard.New(k2, "meta", cfg)
+		fsys2 := newShardFS(k2, "meta", cfg)
 		var rootAvg, localAvg time.Duration
 		k2.Spawn("readdir", func(p *sim.Proc) {
 			c := fsys2.NewClient(cl2.Nodes[0], p)

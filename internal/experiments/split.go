@@ -38,7 +38,7 @@ func e25Cfg(n, threshold int) shard.Config {
 func runWide(seed int64, cfg shard.Config, plugin core.Plugin, problem int) (*results.Set, *shard.FS) {
 	k := sim.New(seed)
 	cl := cluster.New(k, cluster.DefaultConfig(16))
-	fsys := shard.New(k, "meta", cfg)
+	fsys := newShardFS(k, "meta", cfg)
 	r := &core.Runner{
 		Cluster:      cl,
 		FS:           fsys,
@@ -147,7 +147,7 @@ func E26SplitStorm() *Report {
 		cfg := e25Cfg(8, threshold)
 		k := sim.New(seed)
 		cl := cluster.New(k, cluster.DefaultConfig(8))
-		fsys := shard.New(k, "meta", cfg)
+		fsys := newShardFS(k, "meta", cfg)
 		var benchStart time.Duration
 		rn := &core.Runner{
 			Cluster: cl,
@@ -278,7 +278,7 @@ func E27SplitRouting() *Report {
 		}
 		k := sim.New(2701)
 		cl := cluster.New(k, cluster.DefaultConfig(readers+1))
-		fsys := shard.New(k, "meta", cfg)
+		fsys := newShardFS(k, "meta", cfg)
 		k.Spawn("probe", func(p *sim.Proc) {
 			loader := fsys.NewClient(cl.Nodes[0], p)
 			if err := loader.Mkdir("/big"); err != nil {
@@ -327,7 +327,7 @@ func E27SplitRouting() *Report {
 	probe := func(threshold int) (avg time.Duration, parts int) {
 		k := sim.New(2750)
 		cl := cluster.New(k, cluster.DefaultConfig(1))
-		fsys := shard.New(k, "meta", e25Cfg(8, threshold))
+		fsys := newShardFS(k, "meta", e25Cfg(8, threshold))
 		k.Spawn("probe", func(p *sim.Proc) {
 			c := fsys.NewClient(cl.Nodes[0], p)
 			if err := c.Mkdir("/big"); err != nil {

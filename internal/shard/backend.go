@@ -368,7 +368,7 @@ func (b *lsmBackend) log(p *sim.Proc, n int64) {
 	if b.debt >= b.p.CompactEvery && p.Now() >= b.compactEnd {
 		dur := time.Duration(float64(b.debt) / float64(b.p.CompactDrain) * float64(time.Second))
 		b.compactEnd = p.Now() + dur
-		b.f.Compactions = append(b.f.Compactions, CompactionEvent{Shard: b.shard, At: p.Now(), Dur: dur})
+		b.f.recordCompaction(CompactionEvent{Shard: b.shard, At: p.Now(), Dur: dur})
 		b.debt = 0
 	}
 }

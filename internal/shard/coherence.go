@@ -127,17 +127,39 @@ func (f *FS) cbServer(st *nodeState, n *cluster.Node) {
 // FS.replicate, so a coherent cache can never serve a hit newer
 // mutations already invalidated.
 func (f *FS) callback(p *sim.Proc, st *nodeState, path string) {
-	st.leases.Revoke(path)
-	st.dentries.Invalidate(path)
-	f.cbCost(p, st)
+	if !f.domained() {
+		st.leases.Revoke(path)
+		st.dentries.Invalidate(path)
+	}
+	f.cbDeliver(p, st, func() {
+		st.leases.Revoke(path)
+		st.dentries.Invalidate(path)
+	})
 }
 
 // cbCost charges one callback's delivery: the server→client round trip
 // plus the client-side handler, serialized on the node's callback
 // channel.
-func (f *FS) cbCost(p *sim.Proc, st *nodeState) {
+func (f *FS) cbCost(p *sim.Proc, st *nodeState) { f.cbDeliver(p, st, nil) }
+
+// cbDeliver pays one callback round trip. Under kernel domains the
+// client-side invalidation rides the callback and applies in the
+// client's domain at delivery — a server body must not reach into
+// another domain's cache, so the drop lands when the message does
+// (instead of at the commit instant, the single-kernel idealization).
+// Undomained, the caller already applied it and inval is ignored.
+func (f *FS) cbDeliver(p *sim.Proc, st *nodeState, inval func()) {
 	svc := f.cfg.CallbackService
-	st.cbConn.Call(p, 90, 60, func(q *sim.Proc) { q.Sleep(svc) })
+	apply := inval
+	if !f.domained() {
+		apply = nil
+	}
+	st.cbConn.CallDom(p, 90, 60, func(q *sim.Proc) {
+		if apply != nil {
+			apply()
+		}
+		q.Sleep(svc)
+	})
 }
 
 // grant issues (or refreshes) a read lease on path to the node behind
@@ -147,19 +169,33 @@ func (f *FS) cbCost(p *sim.Proc, st *nodeState) {
 // node holds a write delegation for recalls the delegation first — the
 // writer loses its private write-back state the moment a second party
 // starts caching the directory.
+// Each lease table belongs to the domain serving its slice, so both
+// halves route there (withLeaseSlice): cross-server lease management
+// pays an interconnect message, the way a distributed lock manager's
+// does. The client-side lease fill rides the RPC reply (simnet.Defer).
 func (f *FS) grant(p *sim.Proc, st *nodeState, path string, a fs.Attr) {
 	if a.Type == fs.TypeDirectory && f.cfg.Delegations {
 		if cs := f.contentSlice(path); cs >= 0 {
-			if holder, ok := f.leases[cs].deleg[path]; ok && holder != st {
-				f.DelegationRecalls++
-				f.callback(p, holder, path)
-				delete(f.leases[cs].deleg, path)
-			}
+			f.withLeaseSlice(p, cs, func(q *sim.Proc) {
+				if holder, ok := f.leases[cs].deleg[path]; ok && holder != st {
+					addI64(&f.DelegationRecalls, 1)
+					f.callback(q, holder, path)
+					delete(f.leases[cs].deleg, path)
+				}
+			})
 		}
 	}
 	slice := f.ownerSlice(path)
+	f.withLeaseSlice(p, slice, func(q *sim.Proc) {
+		f.grantAt(q, st, path, a, slice)
+	})
+}
+
+// grantAt records the grant in slice's table; the caller must already
+// execute in the slice's owning domain.
+func (f *FS) grantAt(q *sim.Proc, st *nodeState, path string, a fs.Attr, slice int) {
 	t := f.leases[slice]
-	exp := p.Now() + f.cfg.LeaseTTL
+	exp := q.Now() + f.cfg.LeaseTTL
 	grants := t.read[path]
 	found := false
 	for i := range grants {
@@ -172,7 +208,12 @@ func (f *FS) grant(p *sim.Proc, st *nodeState, path string, a fs.Attr) {
 	if !found {
 		t.read[path] = append(grants, leaseGrant{st: st, expiry: exp})
 	}
-	f.LeaseGrants++
+	addI64(&f.LeaseGrants, 1)
+	if f.domained() {
+		ep := f.epochs[slice]
+		simnet.Defer(q, func() { st.leases.Put(path, a, exp, slice, ep) })
+		return
+	}
 	st.leases.Put(path, a, exp, slice, f.epochs[slice])
 }
 
@@ -191,16 +232,27 @@ func (f *FS) revokePath(p *sim.Proc, mutator *nodeState, path string) {
 	// costs are paid afterwards, fanned out in parallel — the server
 	// issues all callbacks at once and waits for every ack, so a wide
 	// revocation costs one round trip plus callback-channel queueing,
-	// not one round trip per holder.
+	// not one round trip per holder. Under kernel domains the victims'
+	// drops ride the callbacks instead (cbDeliver) and the mutator's
+	// silent invalidation rides its own RPC reply — a server body never
+	// reaches into a client domain's cache.
+	dom := f.domained()
 	victims := grants[:0]
 	for _, g := range grants {
 		switch {
 		case g.st == mutator:
-			g.st.leases.Invalidate(path)
+			if dom {
+				st := g.st
+				simnet.Defer(p, func() { st.leases.Invalidate(path) })
+			} else {
+				g.st.leases.Invalidate(path)
+			}
 		case g.expiry < now:
 		default:
-			g.st.leases.Revoke(path)
-			g.st.dentries.Invalidate(path)
+			if !dom {
+				g.st.leases.Revoke(path)
+				g.st.dentries.Invalidate(path)
+			}
 			victims = append(victims, g)
 		}
 	}
@@ -210,9 +262,14 @@ func (f *FS) revokePath(p *sim.Proc, mutator *nodeState, path string) {
 	}
 	procs := make([]*sim.Proc, 0, len(victims))
 	for _, g := range victims {
-		f.Revocations++
+		addI64(&f.Revocations, 1)
 		st := g.st
-		procs = append(procs, p.Spawn("revoke", func(q *sim.Proc) { f.cbCost(q, st) }))
+		procs = append(procs, p.Spawn("revoke", func(q *sim.Proc) {
+			f.cbDeliver(q, st, func() {
+				st.leases.Revoke(path)
+				st.dentries.Invalidate(path)
+			})
+		}))
 	}
 	for _, q := range procs {
 		p.Join(q)
@@ -227,12 +284,14 @@ func (f *FS) revokePath(p *sim.Proc, mutator *nodeState, path string) {
 // first-write revocation for the old holder. Creation-type mutations
 // must not run it: a delegation granted while a fresh mkdir is still
 // paying its broadcast costs is already legitimate.
-func (f *FS) dropDelegation(dir string) {
+func (f *FS) dropDelegation(p *sim.Proc, dir string) {
 	if !f.cfg.Delegations {
 		return
 	}
 	if cs := f.contentSlice(dir); cs >= 0 {
-		delete(f.leases[cs].deleg, dir)
+		f.withLeaseSlice(p, cs, func(q *sim.Proc) {
+			delete(f.leases[cs].deleg, dir)
+		})
 	}
 }
 
@@ -281,13 +340,13 @@ func (f *FS) dirCovered(p *sim.Proc, mutator *nodeState, dir string) bool {
 	switch {
 	case !ok:
 		t.deleg[dir] = mutator
-		f.DelegationGrants++
+		addI64(&f.DelegationGrants, 1)
 		return false // first write under the delegation still revokes readers
 	case holder == mutator:
 		return true
 	default:
 		// A second writer: recall the delegation, then hand it over.
-		f.DelegationRecalls++
+		addI64(&f.DelegationRecalls, 1)
 		f.callback(p, holder, dir)
 		t.deleg[dir] = mutator
 		return false
@@ -299,11 +358,18 @@ func (f *FS) dirCovered(p *sim.Proc, mutator *nodeState, dir string) bool {
 // do leases on the parent directory (its mtime/size changed) unless the
 // mutator's write delegation covers it. withParent is false for content
 // mutations (Write) that leave the parent untouched.
+// Each lease-table touch routes to the domain owning its slice
+// (withLeaseSlice): the path's own leases live on the executing slice
+// (free), but the parent directory's delegation and leases are keyed by
+// other slices — under a split, even the delegation's content slice —
+// and reaching them across domains costs a hop.
 func (f *FS) revokeOnMutate(p *sim.Proc, mutator *nodeState, path string, withParent bool) {
 	if f.cfg.CacheMode != CacheLease {
 		return
 	}
-	f.revokePath(p, mutator, path)
+	f.withLeaseSlice(p, f.ownerSlice(path), func(q *sim.Proc) {
+		f.revokePath(q, mutator, path)
+	})
 	if !withParent {
 		return
 	}
@@ -311,10 +377,18 @@ func (f *FS) revokeOnMutate(p *sim.Proc, mutator *nodeState, path string, withPa
 	if dir == "." || dir == path {
 		return
 	}
-	if f.dirCovered(p, mutator, dir) {
+	covered := false
+	if cs := f.contentSlice(dir); f.cfg.Delegations && cs >= 0 {
+		f.withLeaseSlice(p, cs, func(q *sim.Proc) {
+			covered = f.dirCovered(q, mutator, dir)
+		})
+	}
+	if covered {
 		return
 	}
-	f.revokePath(p, mutator, dir)
+	f.withLeaseSlice(p, f.ownerSlice(dir), func(q *sim.Proc) {
+		f.revokePath(q, mutator, dir)
+	})
 }
 
 // noteStale is the staleness instrument of E22–E24: with
@@ -322,7 +396,10 @@ func (f *FS) revokeOnMutate(p *sim.Proc, mutator *nodeState, path string, withPa
 // no simulated cost) against the authoritative slice state, and a
 // mismatch is counted with its virtual time.
 func (f *FS) noteStale(p *sim.Proc, path string, a fs.Attr) {
-	if !f.cfg.TrackStaleness {
+	if !f.cfg.TrackStaleness || f.domained() {
+		// The comparison needs a free global-snapshot read of another
+		// domain's namespace, which a partitioned simulation does not
+		// have: the instrument is single-kernel-only.
 		return
 	}
 	auth, err := f.shards[f.ownerSlice(path)].ns.Stat(path)
@@ -375,15 +452,26 @@ func (c *client) cachedAttr(p string) (fs.Attr, bool) {
 
 // fillEntry caches the attributes of p on the client under the
 // configured mode — a plain TTL put, or a server-recorded lease grant.
+// The client-side cache writes go through simnet.Defer: immediate on
+// the single-kernel path (and from client-side callers), at reply
+// delivery when the fill happens inside a cross-domain service body.
 func (c *client) fillEntry(p2 *sim.Proc, p string, a fs.Attr) {
 	st := c.st()
-	st.dentries.PutPositive(p, a.Ino)
+	if simnet.Deferred(p2) {
+		simnet.Defer(p2, func() { st.dentries.PutPositive(p, a.Ino) })
+	} else {
+		st.dentries.PutPositive(p, a.Ino)
+	}
 	switch c.cfg().CacheMode {
 	case CacheNone:
 	case CacheLease:
 		c.fsys.grant(p2, st, p, a)
 	default:
-		st.attrs.Put(p, a)
+		if simnet.Deferred(p2) {
+			simnet.Defer(p2, func() { st.attrs.Put(p, a) })
+		} else {
+			st.attrs.Put(p, a)
+		}
 	}
 }
 

@@ -69,6 +69,7 @@ package shard
 
 import (
 	"strconv"
+	"sync"
 	"time"
 
 	"dmetabench/internal/clientcache"
@@ -120,6 +121,14 @@ type Config struct {
 	// CrossShardOverhead is the extra CPU charged on each side of a
 	// forwarded operation (marshalling, transaction bookkeeping).
 	CrossShardOverhead time.Duration
+	// Domains partitions the simulation itself into conservative-
+	// lookahead kernel domains (domain.go, internal/sim): domain 0 runs
+	// the clients and domains 1..Domains-1 share the shards, exchanging
+	// timestamped messages with lookahead min(CrossShardLatency,
+	// OneWayLatency). Results are deterministic for a given Domains
+	// value regardless of worker threads; <= 1 (the default) is the
+	// single-kernel path, byte for byte.
+	Domains int
 
 	CreateService     time.Duration
 	GetattrService    time.Duration
@@ -353,6 +362,14 @@ type FS struct {
 	k   *sim.Kernel
 	cfg Config
 
+	// g and doms carry the kernel-domain decomposition (domain.go):
+	// g is nil with Domains <= 1, doms[i] is the kernel server i's
+	// state lives on. evMu guards the Compactions slice, the one
+	// result collection bodies append to from several domains.
+	g    *sim.DomainGroup
+	doms []*sim.Kernel
+	evMu sync.Mutex
+
 	shards []*shardSrv
 	// serving maps each namespace slice to the index of the server
 	// currently serving it: the slice's home shard, or its backup after
@@ -462,13 +479,31 @@ func New(k *sim.Kernel, name string, cfg Config) *FS {
 		splitDirs: make(map[string]*dirSplit),
 		moved:     make(map[entryID]entryID),
 	}
+	if cfg.Domains > 1 && k.Group() == nil {
+		nd := cfg.Domains
+		if nd > cfg.NumShards+1 {
+			nd = cfg.NumShards + 1
+		}
+		if nd > 1 {
+			la := cfg.CrossShardLatency
+			if cfg.OneWayLatency < la {
+				la = cfg.OneWayLatency
+			}
+			f.g = sim.AddDomains(k, nd-1, la)
+			f.doms = make([]*sim.Kernel, cfg.NumShards)
+			for i := range f.doms {
+				f.doms[i] = f.g.Kernel(1 + i%(nd-1))
+			}
+		}
+	}
 	for i := 0; i < cfg.NumShards; i++ {
 		id := name + "-" + strconv.Itoa(i)
+		sk := f.kFor(i)
 		sh := &shardSrv{
 			index: i,
-			srv:   simnet.NewServer(k, "mds:"+id, cfg.ShardThreads),
-			peer:  simnet.NewServer(k, "mdspeer:"+id, cfg.PeerThreads),
-			wafl:  storage.NewWAFL(k, "mds:"+id, cfg.WAFL),
+			srv:   simnet.NewServer(sk, "mds:"+id, cfg.ShardThreads),
+			peer:  simnet.NewServer(sk, "mdspeer:"+id, cfg.PeerThreads),
+			wafl:  storage.NewWAFL(sk, "mds:"+id, cfg.WAFL),
 			ns:    namespace.New(),
 			locks: make(map[fs.Ino]*sim.Mutex),
 			up:    true,
@@ -501,14 +536,14 @@ func (f *FS) Name() string {
 func (f *FS) NumShards() int { return len(f.shards) }
 
 // RPCCount returns the number of client RPCs served.
-func (f *FS) RPCCount() int64 { return f.rpcs }
+func (f *FS) RPCCount() int64 { return loadI64(&f.rpcs) }
 
 // ShardOps returns the per-shard count of client operations served,
 // the load-balance view the skew experiments report.
 func (f *FS) ShardOps() []int64 {
 	out := make([]int64, len(f.shards))
 	for i, sh := range f.shards {
-		out[i] = sh.ops
+		out[i] = loadI64(&sh.ops)
 	}
 	return out
 }
@@ -537,7 +572,17 @@ func (f *FS) backupOf(i int) int { return (i + 1) % len(f.shards) }
 // slice's backup detects the failure after TakeoverDetect, replays the
 // journal and takes over serving the slice (recorded in Takeovers).
 // Crash implements fault.Target.
+//
+// Under kernel domains every step of the crash/takeover sequence is a
+// sync point (domain.go): serving[], the down flags, epochs and lease
+// tables are read lock-free from every domain, so they may only change
+// with all domains parked at one instant. The legacy path applies the
+// crash immediately and schedules the takeover with a timer.
 func (f *FS) Crash(p *sim.Proc, i int) {
+	if f.domained() {
+		f.crashDomained(p, i)
+		return
+	}
 	sh := f.shards[i]
 	if !sh.up {
 		return
@@ -578,10 +623,79 @@ func (f *FS) Crash(p *sim.Proc, i int) {
 	})
 }
 
+// crashDomained runs the crash and the ensuing takeover as a chain of
+// sync points: the crash lands one lookahead after the injector's call
+// (the earliest instant every domain can rendezvous), detection fires
+// TakeoverDetect later, and the promotion lands after the replay time —
+// with the journal length read while its shard's domain is parked.
+func (f *FS) crashDomained(p *sim.Proc, i int) {
+	g := f.g
+	g.AtSync(p, p.Now(), func() {
+		sh := f.shards[i]
+		if !sh.up {
+			return
+		}
+		sh.up = false
+		sh.srv.SetDown()
+		sh.peer.SetDown()
+		if !f.replicated() {
+			return
+		}
+		b := f.backupOf(i)
+		if !f.shards[b].up {
+			return // no live backup: the slice stays dark until restart
+		}
+		crashAt := f.k.Now()
+		g.AtSyncAbs(crashAt+f.cfg.TakeoverDetect, func() {
+			if sh.up || !f.shards[b].up {
+				return // primary returned, or the backup died meanwhile
+			}
+			entries := len(sh.journal)
+			replay := time.Duration(entries) * f.shards[b].be.replayPerEntry()
+			g.AtSyncAbs(f.k.Now()+replay, func() {
+				if sh.up || !f.shards[b].up {
+					return // primary recovered first, or backup crashed mid-replay
+				}
+				f.serving[i] = b
+				f.invalidateSliceLeases(i)
+				f.Takeovers = append(f.Takeovers, Takeover{
+					Shard: i, Backup: b, CrashAt: crashAt,
+					Detect: f.cfg.TakeoverDetect, Replay: replay, Entries: entries,
+				})
+			})
+		})
+	})
+}
+
 // Restart begins shard i's recovery at the current virtual time: the
 // server replays its journal, then returns to service and reclaims its
 // slice from the backup (failback). Restart implements fault.Target.
 func (f *FS) Restart(p *sim.Proc, i int) {
+	if f.domained() {
+		// Same sync-point discipline as crashDomained: the journal is
+		// read and the failback committed with every domain parked.
+		g := f.g
+		g.AtSync(p, p.Now(), func() {
+			sh := f.shards[i]
+			if sh.up {
+				return
+			}
+			replay := time.Duration(len(sh.journal)) * sh.be.replayPerEntry()
+			g.AtSyncAbs(f.k.Now()+replay, func() {
+				if sh.up {
+					return
+				}
+				sh.up = true
+				sh.srv.SetUp()
+				sh.peer.SetUp()
+				f.serving[i] = i
+				sh.journal = sh.journal[:0]
+				sh.checkpoints++
+				f.invalidateSliceLeases(i)
+			})
+		})
+		return
+	}
 	sh := f.shards[i]
 	if sh.up {
 		return
@@ -750,18 +864,20 @@ func (f *FS) chargeOp(p *sim.Proc, sh *shardSrv, base time.Duration, dirEntries 
 	p.Sleep(time.Duration(cost))
 }
 
-// service is charge plus client-RPC accounting.
+// service is charge plus client-RPC accounting. The counters are
+// atomic: under kernel domains service bodies run concurrently, and
+// order-independent sums stay deterministic (domain.go).
 func (f *FS) service(p *sim.Proc, sh *shardSrv, base time.Duration, dirEntries int) {
 	f.charge(p, sh, base, dirEntries)
-	f.rpcs++
-	sh.ops++
+	addI64(&f.rpcs, 1)
+	addI64(&sh.ops, 1)
 }
 
 // serviceOp is chargeOp plus client-RPC accounting.
 func (f *FS) serviceOp(p *sim.Proc, sh *shardSrv, base time.Duration, dirEntries int, info opInfo) {
 	f.chargeOp(p, sh, base, dirEntries, info)
-	f.rpcs++
-	sh.ops++
+	addI64(&f.rpcs, 1)
+	addI64(&sh.ops, 1)
 }
 
 // readInfo prices one point lookup at p for the configured backend: a
@@ -799,16 +915,12 @@ func scanInfo() opInfo { return opInfo{cls: opScan, dirSize: -1} }
 // hop performs one synchronous MDS-to-MDS call while serving a request:
 // coordination CPU on the caller, the interconnect round trip, and body
 // running on the destination's peer pool (never its client pool, so
-// forwarded work cannot deadlock against incoming requests).
+// forwarded work cannot deadlock against incoming requests). When the
+// destination lives in another kernel domain, peerLeg turns the round
+// trip into a cross-domain rendezvous with identical virtual-time cost.
 func (f *FS) hop(sp *sim.Proc, dst *shardSrv, body func(q *sim.Proc)) {
-	f.CrossCount++
-	sp.Sleep(f.cfg.CrossShardOverhead)
-	sp.Sleep(f.cfg.CrossShardLatency)
-	dst.peer.Do(sp, func(q *sim.Proc) {
-		q.Sleep(f.cfg.CrossShardOverhead)
-		body(q)
-	})
-	sp.Sleep(f.cfg.CrossShardLatency)
+	addI64(&f.CrossCount, 1)
+	f.peerLeg(sp, dst, "hop:"+strconv.Itoa(dst.index), body)
 }
 
 // commit journals one successful mutation on slice state and, with
@@ -825,15 +937,11 @@ func (f *FS) commit(sp *sim.Proc, state, srv *shardSrv, kind fs.OpKind, path str
 		return
 	}
 	ps := f.shards[partner]
-	f.MirrorCount++
-	sp.Sleep(f.cfg.CrossShardOverhead)
-	sp.Sleep(f.cfg.CrossShardLatency)
-	ps.peer.Do(sp, func(q *sim.Proc) {
-		q.Sleep(f.cfg.CrossShardOverhead)
+	addI64(&f.MirrorCount, 1)
+	f.peerLeg(sp, ps, "mirror:"+strconv.Itoa(ps.index), func(q *sim.Proc) {
 		f.chargeOp(q, ps, f.cfg.MirrorService, -1, opInfo{cls: opWrite, dirSize: -1})
 		ps.be.log(q, f.cfg.MetaLogBytes)
 	})
-	sp.Sleep(f.cfg.CrossShardLatency)
 }
 
 // mirrorPartner returns the replica partner a committed mutation on
@@ -885,7 +993,7 @@ func (f *FS) persist(sp *sim.Proc, state, srv *shardSrv, kind fs.OpKind, path st
 	if b := srv.gc; b != nil {
 		// Follower: join the open batch and wait out its flush.
 		b.add(logBytes, partner)
-		f.GroupCommitOps++
+		addI64(&f.GroupCommitOps, 1)
 		for !b.flushed {
 			b.done.Wait(sp)
 		}
@@ -893,10 +1001,13 @@ func (f *FS) persist(sp *sim.Proc, state, srv *shardSrv, kind fs.OpKind, path st
 	}
 	// Leader: open a batch, absorb arrivals for one window, close it,
 	// then pay the batched flush and the per-partner mirror round trips.
-	b := &gcBatch{done: sim.NewCond(f.k, "groupcommit:"+strconv.Itoa(srv.index))}
+	// The batch condition lives on the executing kernel: under domains
+	// a server's batches belong to its own domain (only its service
+	// bodies ever join them).
+	b := &gcBatch{done: sim.NewCond(sp.Kernel(), "groupcommit:"+strconv.Itoa(srv.index))}
 	srv.gc = b
 	b.add(logBytes, partner)
-	f.GroupCommits++
+	addI64(&f.GroupCommits, 1)
 	sp.Sleep(w)
 	srv.gc = nil // later arrivals open the next batch
 	srv.be.log(sp, b.bytes)
@@ -905,16 +1016,12 @@ func (f *FS) persist(sp *sim.Proc, state, srv *shardSrv, kind fs.OpKind, path st
 		if !ps.up || ps == srv {
 			continue // the partner died inside the window: replay catches it up
 		}
-		f.MirrorCount++
+		addI64(&f.MirrorCount, 1)
 		count := m.count
-		sp.Sleep(f.cfg.CrossShardOverhead)
-		sp.Sleep(f.cfg.CrossShardLatency)
-		ps.peer.Do(sp, func(q *sim.Proc) {
-			q.Sleep(f.cfg.CrossShardOverhead)
+		f.peerLeg(sp, ps, "gcmirror:"+strconv.Itoa(ps.index), func(q *sim.Proc) {
 			f.chargeOp(q, ps, time.Duration(count)*f.cfg.MirrorService, -1, opInfo{cls: opWrite, dirSize: -1})
 			ps.be.log(q, count*f.cfg.MetaLogBytes)
 		})
-		sp.Sleep(f.cfg.CrossShardLatency)
 	}
 	b.flushed = true
 	b.done.Broadcast()
@@ -929,11 +1036,44 @@ func (f *FS) persist(sp *sim.Proc, state, srv *shardSrv, kind fs.OpKind, path st
 // full interconnect and replica service cost before its RPC returns.
 // Down shards receive the state change without a hop: their replica
 // catches up logically, the way recovery replay would deliver it.
+//
+// Under kernel domains a replica's namespace may only be touched by its
+// owning domain, so each apply rides the broadcast: live shards apply
+// inside the hop body at its arrival time, down shards via a posted
+// message to whichever domain owns their namespace (their own, or a
+// promoted backup's after failover). The mutating client observes its
+// own change immediately — its reply travels the slower client path
+// (OneWayLatency > CrossShardLatency + CrossShardOverhead), so every
+// replica has applied before the client can look.
 func (f *FS) replicate(sp *sim.Proc, primary *shardSrv, svc time.Duration, apply func(ns *namespace.Namespace, now time.Duration)) {
 	if f.cfg.Placement != PlaceHashDir || len(f.shards) == 1 {
 		return
 	}
-	f.BroadcastCount++
+	addI64(&f.BroadcastCount, 1)
+	if f.domained() {
+		for _, sh := range f.shards {
+			if sh == primary {
+				continue
+			}
+			sh := sh
+			if sh.up {
+				f.hop(sp, sh, func(q *sim.Proc) {
+					apply(sh.ns, q.Now())
+					f.chargeOp(q, sh, svc, -1, opInfo{cls: opWrite, dirSize: -1})
+					sh.be.log(q, f.cfg.MetaLogBytes)
+				})
+				continue
+			}
+			if dk := f.sliceKernel(sh.index); dk != sp.Kernel() {
+				sim.Post(sp, dk, f.cfg.CrossShardLatency, "bapply:"+strconv.Itoa(sh.index), func(q *sim.Proc) {
+					apply(sh.ns, q.Now())
+				})
+			} else {
+				apply(sh.ns, sp.Now())
+			}
+		}
+		return
+	}
 	now := sp.Now()
 	for _, sh := range f.shards {
 		if sh != primary {
@@ -952,9 +1092,12 @@ func (f *FS) replicate(sp *sim.Proc, primary *shardSrv, svc time.Duration, apply
 	}
 }
 
-// NewClient binds a client for one process on one node.
+// NewClient binds a client for one process on one node. The node's
+// cache state is resolved here — in the client's own domain — and
+// cached on the client, so service bodies running in shard domains
+// never touch the shared nodes map.
 func (f *FS) NewClient(node *cluster.Node, p *sim.Proc) fs.Client {
-	return &client{fsys: f, node: node, p: p, handles: make(map[fs.Handle]*openFile)}
+	return &client{fsys: f, node: node, p: p, state: f.nodeState(node), handles: make(map[fs.Handle]*openFile)}
 }
 
 type openFile struct {
@@ -970,12 +1113,18 @@ type client struct {
 	fsys    *FS
 	node    *cluster.Node
 	p       *sim.Proc
+	state   *nodeState
 	nextFH  fs.Handle
 	handles map[fs.Handle]*openFile
 }
 
-func (c *client) cfg() Config    { return c.fsys.cfg }
-func (c *client) st() *nodeState { return c.fsys.nodeState(c.node) }
+// cfg returns the FS config by pointer: the config is immutable after
+// New, and a pointer keeps the 500-byte struct out of every escaping
+// service closure (a by-reference capture of the value would heap-box
+// it once per client op, even on cache-hit paths that never issue the
+// RPC).
+func (c *client) cfg() *Config   { return &c.fsys.cfg }
+func (c *client) st() *nodeState { return c.state }
 
 // callRetry is the client's retry engine: it repeats attempt() with
 // deterministic exponential backoff while it reports a retryable
@@ -1009,7 +1158,7 @@ func (c *client) call(op string, path string, slice int, reqBytes, respBytes int
 	state := f.shards[slice]
 	return c.callRetry(op, path, func() bool {
 		srv := f.srvFor(slice)
-		return f.conn(c.node, srv).TryCall(c.p, reqBytes, respBytes, func(sp *sim.Proc) {
+		return f.conn(c.node, srv).TryCallDom(c.p, reqBytes, respBytes, func(sp *sim.Proc) {
 			service(sp, state, srv)
 		}) != nil
 	})
@@ -1032,9 +1181,20 @@ func (c *client) callEntry(op, p string, reqBytes, respBytes int64,
 	f := c.fsys
 	c.routeEntry(p)
 	return c.callRetry(op, p, func() bool {
-		srv := f.srvFor(f.ownerSlice(p))
-		return f.conn(c.node, srv).TryCall(c.p, reqBytes, respBytes, func(sp *sim.Proc) {
-			service(sp, f.shards[f.ownerSlice(p)], srv)
+		s := f.ownerSlice(p)
+		srv := f.srvFor(s)
+		return f.conn(c.node, srv).TryCallDom(c.p, reqBytes, respBytes, func(sp *sim.Proc) {
+			state := f.shards[f.ownerSlice(p)]
+			if f.domained() {
+				// Pin the route chosen at attempt time: the body starts
+				// against the slice the contacted server was addressed
+				// for (its own domain); any re-homing that lands while
+				// the request queues is caught by the commit-instant
+				// re-resolution below, which forwards across domains
+				// (applyState) instead of touching foreign state.
+				state = f.shards[s]
+			}
+			service(sp, state, srv)
 		}) != nil
 	})
 }
@@ -1075,7 +1235,10 @@ func (c *client) resolveParents(p string) error {
 			if err == nil {
 				c.fillEntry(sp, prefix, a)
 			} else {
-				st.dentries.PutNegative(prefix)
+				// The negative dentry is client-side state: it rides the
+				// reply home (immediate when client and shard share a
+				// kernel).
+				simnet.Defer(sp, func() { st.dentries.PutNegative(prefix) })
 			}
 		})
 		if cerr != nil {
@@ -1094,6 +1257,12 @@ func (c *client) resolveParents(p string) error {
 // attributes: the mutator writes its cached dir attributes back in
 // place (the delegation discipline) instead of refetching them.
 func (c *client) cacheEntry(p string) {
+	if c.fsys.domained() {
+		// The free client-side peek at authoritative state crosses
+		// domains; the service body already captured the reply
+		// attributes in the owning domain (captureEntry).
+		return
+	}
 	state := c.fsys.shards[c.fsys.ownerSlice(p)]
 	a, err := state.ns.Stat(p)
 	if err != nil {
@@ -1106,6 +1275,30 @@ func (c *client) cacheEntry(p string) {
 	if dir := fs.ParentDir(p); dir != "." && dir != p {
 		if da, derr := state.ns.Stat(dir); derr == nil {
 			c.fillEntry(c.p, dir, da)
+		}
+	}
+}
+
+// captureEntry is cacheEntry's in-body counterpart for kernel domains:
+// the service body reads the post-op attributes in the slice's owning
+// domain — the attributes the reply piggybacks — and the client-side
+// cache writes ride the reply home (fillEntry defers them).
+func (c *client) captureEntry(q *sim.Proc, p string) {
+	if !c.fsys.domained() {
+		return
+	}
+	state := c.fsys.shards[c.fsys.ownerSlice(p)]
+	a, err := state.ns.Stat(p)
+	if err != nil {
+		return
+	}
+	c.fillEntry(q, p, a)
+	if c.cfg().CacheMode != CacheLease {
+		return
+	}
+	if dir := fs.ParentDir(p); dir != "." && dir != p {
+		if da, derr := state.ns.Stat(dir); derr == nil {
+			c.fillEntry(q, dir, da)
 		}
 	}
 }
@@ -1125,25 +1318,37 @@ func (c *client) Create(p string) error {
 
 	var err error
 	cerr := c.callEntry("create", p, 160, 160, func(sp *sim.Proc, state, srv *shardSrv) {
-		if dir, lerr := state.ns.Lookup(fs.ParentDir(p)); lerr == nil {
-			lock := state.dirLock(f.k, dir.Ino)
-			lock.Lock(sp)
-			defer lock.Unlock()
-			f.serviceOp(sp, srv, cfg.CreateService, dir.NumChildren(), writeInfo(p, dir.NumChildren()))
-		} else {
-			f.serviceOp(sp, srv, cfg.CreateService, -1, writeInfo(p, -1))
-		}
-		// Commit-instant re-resolution: the lock and charge waits above
-		// may have overlapped a split of the parent.
-		state = f.entryState(p)
-		_, err = state.ns.Create(p, 0o644, sp.Now())
-		if err == nil {
-			f.revokeOnMutate(sp, c.st(), p, true)
-			f.persist(sp, state, srv, fs.OpCreate, p, cfg.MetaLogBytes)
+		f.applyState(sp, state, srv, func(sp *sim.Proc, at *shardSrv, fwd bool) {
 			if dir, lerr := state.ns.Lookup(fs.ParentDir(p)); lerr == nil {
-				f.maybeSplit(sp, fs.ParentDir(p), dir.NumChildren(), c.st())
+				lock := state.dirLock(sp.Kernel(), dir.Ino)
+				lock.Lock(sp)
+				defer lock.Unlock()
+				f.serviceOp(sp, at, cfg.CreateService, dir.NumChildren(), writeInfo(p, dir.NumChildren()))
+			} else {
+				f.serviceOp(sp, at, cfg.CreateService, -1, writeInfo(p, -1))
 			}
-		}
+			// Commit-instant re-resolution: the lock and charge waits above
+			// may have overlapped a split of the parent.
+			state2 := f.entryState(p)
+			f.applyState(sp, state2, at, func(q *sim.Proc, at2 *shardSrv, _ bool) {
+				_, err = state2.ns.Create(p, 0o644, q.Now())
+				if err == nil {
+					f.revokeOnMutate(q, c.st(), p, true)
+					f.persistAt(q, state2, at2, srv, fs.OpCreate, p, cfg.MetaLogBytes)
+					// Splits trigger from the contacted server only:
+					// forwarded work runs on a peer pool, and a split hops
+					// to peer pools itself.
+					if at2 == srv {
+						if dir, lerr := state2.ns.Lookup(fs.ParentDir(p)); lerr == nil {
+							f.maybeSplit(q, fs.ParentDir(p), dir.NumChildren(), c.st())
+						}
+					}
+				}
+				if err == nil || fs.IsExist(err) {
+					c.captureEntry(q, p)
+				}
+			})
+		})
 	})
 	if cerr != nil {
 		return cerr
@@ -1173,25 +1378,30 @@ func (c *client) Mkdir(p string) error {
 
 	var err error
 	cerr := c.call("mkdir", p, f.ownerSlice(p), 150, 140, func(sp *sim.Proc, state, srv *shardSrv) {
-		if dir, lerr := state.ns.Lookup(fs.ParentDir(p)); lerr == nil {
-			lock := state.dirLock(f.k, dir.Ino)
-			lock.Lock(sp)
-			f.serviceOp(sp, srv, cfg.MkdirService, dir.NumChildren(), writeInfo(p, dir.NumChildren()))
-			lock.Unlock()
-		} else {
-			f.serviceOp(sp, srv, cfg.MkdirService, -1, writeInfo(p, -1))
-		}
-		_, err = state.ns.Mkdir(p, 0o755, sp.Now())
-		if err == nil {
-			// The broadcast applies the replicas at this same instant;
-			// revocations must not sleep between the primary and the
-			// replica applies, so they come after it.
-			f.replicate(sp, state, cfg.MkdirService, func(ns *namespace.Namespace, now time.Duration) {
-				ns.Mkdir(p, 0o755, now)
-			})
-			f.revokeOnMutate(sp, c.st(), p, true)
-			f.persist(sp, state, srv, fs.OpMkdir, p, cfg.MetaLogBytes)
-		}
+		f.applyState(sp, state, srv, func(sp *sim.Proc, at *shardSrv, _ bool) {
+			if dir, lerr := state.ns.Lookup(fs.ParentDir(p)); lerr == nil {
+				lock := state.dirLock(sp.Kernel(), dir.Ino)
+				lock.Lock(sp)
+				f.serviceOp(sp, at, cfg.MkdirService, dir.NumChildren(), writeInfo(p, dir.NumChildren()))
+				lock.Unlock()
+			} else {
+				f.serviceOp(sp, at, cfg.MkdirService, -1, writeInfo(p, -1))
+			}
+			_, err = state.ns.Mkdir(p, 0o755, sp.Now())
+			if err == nil {
+				// The broadcast applies the replicas at this same instant;
+				// revocations must not sleep between the primary and the
+				// replica applies, so they come after it.
+				f.replicate(sp, state, cfg.MkdirService, func(ns *namespace.Namespace, now time.Duration) {
+					ns.Mkdir(p, 0o755, now)
+				})
+				f.revokeOnMutate(sp, c.st(), p, true)
+				f.persistAt(sp, state, at, srv, fs.OpMkdir, p, cfg.MetaLogBytes)
+			}
+			if err == nil || fs.IsExist(err) {
+				c.captureEntry(sp, p)
+			}
+		})
 	})
 	if cerr != nil {
 		return cerr
@@ -1226,51 +1436,94 @@ func (c *client) Rmdir(p string) error {
 	}
 	var err error
 	cerr := c.call("rmdir", p, slice, 150, 140, func(sp *sim.Proc, state, srv *shardSrv) {
-		f.serviceOp(sp, srv, cfg.RemoveService, -1, writeInfo(p, -1))
-		// A split directory is empty only when every partition slice
-		// agrees: the peer replicas are checked logically before the
-		// removal commits (no time may pass between check and apply),
-		// and the probe traffic — one interconnect hop per live peer
-		// slice examined, local when a failover co-located the slice
-		// here (the splitFanout rule) — is paid after the outcome is
-		// decided, on success and on ENOTEMPTY alike. A down peer's
-		// state still counts, the way replicate applies to down shards.
-		var probes []int
-		payProbes := func() {
-			for _, s := range probes {
-				peer := f.srvFor(s)
-				switch {
-				case !peer.up:
-				case peer == srv:
-					f.chargeOp(sp, peer, cfg.ReaddirService, -1, scanInfo())
-				default:
-					f.hop(sp, peer, func(q *sim.Proc) {
-						f.chargeOp(q, peer, cfg.ReaddirService, -1, scanInfo())
-					})
+		f.applyState(sp, state, srv, func(sp *sim.Proc, at *shardSrv, _ bool) {
+			f.serviceOp(sp, at, cfg.RemoveService, -1, writeInfo(p, -1))
+			// A split directory is empty only when every partition slice
+			// agrees: the peer replicas are checked logically before the
+			// removal commits (no time may pass between check and apply),
+			// and the probe traffic — one interconnect hop per live peer
+			// slice examined, local when a failover co-located the slice
+			// here (the splitFanout rule) — is paid after the outcome is
+			// decided, on success and on ENOTEMPTY alike. A down peer's
+			// state still counts, the way replicate applies to down shards.
+			var probes []int
+			payProbes := func() {
+				for _, s := range probes {
+					peer := f.srvFor(s)
+					switch {
+					case !peer.up:
+					case peer == at:
+						f.chargeOp(sp, peer, cfg.ReaddirService, -1, scanInfo())
+					default:
+						f.hop(sp, peer, func(q *sim.Proc) {
+							f.chargeOp(q, peer, cfg.ReaddirService, -1, scanInfo())
+						})
+					}
 				}
 			}
-		}
-		if f.splitLevel(p) > 0 {
-			for _, s := range f.splitSlices(p)[1:] {
-				probes = append(probes, s)
-				if hasFileEntries(f.shards[s].ns, p, sp.Now()) {
-					err = fs.NewError("rmdir", p, fs.ENOTEMPTY)
-					payProbes() // the failed probe ran its readdirs too
-					return
+			if f.splitLevel(p) > 0 {
+				if f.domained() {
+					// A peer partition cannot be read from this domain:
+					// each probe pays its hop up front and checks
+					// emptiness at its own arrival instant — the
+					// check-to-commit window a real distributed rmdir
+					// has — stopping at the first non-empty partition.
+					for _, s := range f.splitSlices(p)[1:] {
+						s := s
+						peer := f.srvFor(s)
+						notEmpty := false
+						check := func(q *sim.Proc) {
+							notEmpty = hasFileEntries(f.shards[s].ns, p, q.Now())
+						}
+						switch {
+						case !peer.up:
+							// A down peer's state still counts; reading it
+							// is a rendezvous with its domain, no thread
+							// occupancy.
+							if dk := f.sliceKernel(s); dk != sp.Kernel() {
+								sim.Call(sp, dk, f.cfg.CrossShardLatency, "rmdirprobe", check)
+							} else {
+								check(sp)
+							}
+						case peer == at:
+							f.chargeOp(sp, peer, cfg.ReaddirService, -1, scanInfo())
+							check(sp)
+						default:
+							f.hop(sp, peer, func(q *sim.Proc) {
+								f.chargeOp(q, peer, cfg.ReaddirService, -1, scanInfo())
+								check(q)
+							})
+						}
+						if notEmpty {
+							err = fs.NewError("rmdir", p, fs.ENOTEMPTY)
+							return
+						}
+					}
+				} else {
+					for _, s := range f.splitSlices(p)[1:] {
+						probes = append(probes, s)
+						if hasFileEntries(f.shards[s].ns, p, sp.Now()) {
+							err = fs.NewError("rmdir", p, fs.ENOTEMPTY)
+							payProbes() // the failed probe ran its readdirs too
+							return
+						}
+					}
 				}
 			}
-		}
-		err = state.ns.Rmdir(p, sp.Now())
-		if err == nil {
-			f.dropSplit(p)
-			f.replicate(sp, state, cfg.RemoveService, func(ns *namespace.Namespace, now time.Duration) {
-				ns.Rmdir(p, now)
-			})
-			f.revokeOnMutate(sp, c.st(), p, true)
-			f.dropDelegation(p)
-			f.persist(sp, state, srv, fs.OpRmdir, p, cfg.MetaLogBytes)
-			payProbes()
-		}
+			err = state.ns.Rmdir(p, sp.Now())
+			if err == nil {
+				// The split-level map is global routing state: under
+				// domains it changes only at sync points.
+				f.atSync(sp, func() { f.dropSplit(p) })
+				f.replicate(sp, state, cfg.RemoveService, func(ns *namespace.Namespace, now time.Duration) {
+					ns.Rmdir(p, now)
+				})
+				f.revokeOnMutate(sp, c.st(), p, true)
+				f.dropDelegation(sp, p)
+				f.persistAt(sp, state, at, srv, fs.OpRmdir, p, cfg.MetaLogBytes)
+				payProbes()
+			}
+		})
 	})
 	if cerr != nil {
 		return cerr
@@ -1295,20 +1548,24 @@ func (c *client) Unlink(p string) error {
 
 	var err error
 	cerr := c.callEntry("unlink", p, 150, 140, func(sp *sim.Proc, state, srv *shardSrv) {
-		if dir, lerr := state.ns.Lookup(fs.ParentDir(p)); lerr == nil {
-			lock := state.dirLock(f.k, dir.Ino)
-			lock.Lock(sp)
-			defer lock.Unlock()
-			f.serviceOp(sp, srv, cfg.RemoveService, dir.NumChildren(), writeInfo(p, dir.NumChildren()))
-		} else {
-			f.serviceOp(sp, srv, cfg.RemoveService, -1, writeInfo(p, -1))
-		}
-		state = f.entryState(p) // the waits above may have overlapped a split
-		err = state.ns.Unlink(p, sp.Now())
-		if err == nil {
-			f.revokeOnMutate(sp, c.st(), p, true)
-			f.persist(sp, state, srv, fs.OpUnlink, p, cfg.MetaLogBytes)
-		}
+		f.applyState(sp, state, srv, func(sp *sim.Proc, at *shardSrv, _ bool) {
+			if dir, lerr := state.ns.Lookup(fs.ParentDir(p)); lerr == nil {
+				lock := state.dirLock(sp.Kernel(), dir.Ino)
+				lock.Lock(sp)
+				defer lock.Unlock()
+				f.serviceOp(sp, at, cfg.RemoveService, dir.NumChildren(), writeInfo(p, dir.NumChildren()))
+			} else {
+				f.serviceOp(sp, at, cfg.RemoveService, -1, writeInfo(p, -1))
+			}
+			state2 := f.entryState(p) // the waits above may have overlapped a split
+			f.applyState(sp, state2, at, func(q *sim.Proc, at2 *shardSrv, _ bool) {
+				err = state2.ns.Unlink(p, q.Now())
+				if err == nil {
+					f.revokeOnMutate(q, c.st(), p, true)
+					f.persistAt(q, state2, at2, srv, fs.OpUnlink, p, cfg.MetaLogBytes)
+				}
+			})
+		})
 	})
 	if cerr != nil {
 		return cerr
@@ -1356,61 +1613,70 @@ func (c *client) Rename(oldPath, newPath string) error {
 			// on a pinned slice would strand the new entry where the
 			// split-aware routing never looks.
 			state = f.entryState(oldPath)
-			if dir, lerr := state.ns.Lookup(fs.ParentDir(oldPath)); lerr == nil {
-				lock := state.dirLock(f.k, dir.Ino)
-				lock.Lock(sp)
-				defer lock.Unlock()
-				f.serviceOp(sp, srv, cfg.RenameService, dir.NumChildren(), writeInfo(oldPath, dir.NumChildren()))
-			} else {
-				f.serviceOp(sp, srv, cfg.RenameService, -1, writeInfo(oldPath, -1))
-			}
-			// Commit-instant re-resolution; no virtual time passes from
-			// here to ns.Rename. When a mid-flight split separated the
-			// two names' partitions, the rename surfaces a transient
-			// EXDEV — an online repartition briefly refusing a rename it
-			// can no longer do atomically, like any
-			// migration-in-progress busy error — rather than corrupting
-			// placement.
-			state = f.entryState(oldPath)
-			if f.ownerSlice(newPath) != f.ownerSlice(oldPath) {
-				err = fs.NewError("rename", newPath, fs.EXDEV)
-				return
-			}
-			if f.cfg.Placement == PlaceHashDir && len(f.shards) > 1 {
-				// Renaming a directory would strand its hashed files
-				// and stale the replicated tree on the other shards.
-				var a fs.Attr
-				a, err = state.ns.Stat(oldPath)
-				if err != nil {
-					return
+			f.applyState(sp, state, srv, func(sp *sim.Proc, at *shardSrv, _ bool) {
+				if dir, lerr := state.ns.Lookup(fs.ParentDir(oldPath)); lerr == nil {
+					lock := state.dirLock(sp.Kernel(), dir.Ino)
+					lock.Lock(sp)
+					defer lock.Unlock()
+					f.serviceOp(sp, at, cfg.RenameService, dir.NumChildren(), writeInfo(oldPath, dir.NumChildren()))
+				} else {
+					f.serviceOp(sp, at, cfg.RenameService, -1, writeInfo(oldPath, -1))
 				}
-				if a.Type == fs.TypeDirectory {
-					err = fs.NewError("rename", newPath, fs.EXDEV)
-					return
-				}
-			}
-			err = state.ns.Rename(oldPath, newPath, sp.Now())
-			if err == nil {
-				f.revokeOnMutate(sp, c.st(), oldPath, true)
-				f.revokeOnMutate(sp, c.st(), newPath, true)
-				f.dropDelegation(oldPath)
-				// A directory rename moved every descendant with it:
-				// leases keyed by the old paths are dead. All reachable
-				// cases (subtree placement, single shard) keep a
-				// subtree's entries on one slice.
-				if f.cfg.CacheMode == CacheLease {
-					if a, serr := state.ns.Stat(newPath); serr == nil && a.Type == fs.TypeDirectory {
-						f.revokeSubtree(sp, c.st(), oldPath, f.ownerSlice(oldPath))
+				// Commit-instant re-resolution; no virtual time passes from
+				// here to ns.Rename. When a mid-flight split separated the
+				// two names' partitions, the rename surfaces a transient
+				// EXDEV — an online repartition briefly refusing a rename it
+				// can no longer do atomically, like any
+				// migration-in-progress busy error — rather than corrupting
+				// placement.
+				state2 := f.entryState(oldPath)
+				f.applyState(sp, state2, at, func(q *sim.Proc, at2 *shardSrv, _ bool) {
+					if f.ownerSlice(newPath) != f.ownerSlice(oldPath) {
+						err = fs.NewError("rename", newPath, fs.EXDEV)
+						return
 					}
-				}
-				f.persist(sp, state, srv, fs.OpRename, newPath, cfg.MetaLogBytes)
-				// The rename inserted an entry at the destination parent:
-				// it can push that directory over the split threshold
-				// just like a create.
-				if ndir, nlerr := state.ns.Lookup(fs.ParentDir(newPath)); nlerr == nil {
-					f.maybeSplit(sp, fs.ParentDir(newPath), ndir.NumChildren(), c.st())
-				}
-			}
+					if f.cfg.Placement == PlaceHashDir && len(f.shards) > 1 {
+						// Renaming a directory would strand its hashed files
+						// and stale the replicated tree on the other shards.
+						var a fs.Attr
+						a, err = state2.ns.Stat(oldPath)
+						if err != nil {
+							return
+						}
+						if a.Type == fs.TypeDirectory {
+							err = fs.NewError("rename", newPath, fs.EXDEV)
+							return
+						}
+					}
+					err = state2.ns.Rename(oldPath, newPath, q.Now())
+					if err == nil {
+						f.revokeOnMutate(q, c.st(), oldPath, true)
+						f.revokeOnMutate(q, c.st(), newPath, true)
+						f.dropDelegation(q, oldPath)
+						// A directory rename moved every descendant with it:
+						// leases keyed by the old paths are dead. All reachable
+						// cases (subtree placement, single shard) keep a
+						// subtree's entries on one slice.
+						if f.cfg.CacheMode == CacheLease {
+							if a, serr := state2.ns.Stat(newPath); serr == nil && a.Type == fs.TypeDirectory {
+								f.revokeSubtree(q, c.st(), oldPath, f.ownerSlice(oldPath))
+							}
+						}
+						f.persistAt(q, state2, at2, srv, fs.OpRename, newPath, cfg.MetaLogBytes)
+						// The rename inserted an entry at the destination parent:
+						// it can push that directory over the split threshold
+						// just like a create — but splits trigger from the
+						// contacted server only, never from forwarded work
+						// on a peer pool.
+						if at2 == srv {
+							if ndir, nlerr := state2.ns.Lookup(fs.ParentDir(newPath)); nlerr == nil {
+								f.maybeSplit(q, fs.ParentDir(newPath), ndir.NumChildren(), c.st())
+							}
+						}
+						c.captureEntry(q, newPath)
+					}
+				})
+			})
 		})
 		if cerr != nil {
 			return cerr
@@ -1434,15 +1700,36 @@ func (c *client) Rename(oldPath, newPath string) error {
 		cerr := c.callRetry("rename", newPath, func() bool {
 			err = nil
 			dstDown := false
+			moved := false
 			srv := f.srvFor(srcSlice)
-			terr := f.conn(c.node, srv).TryCall(c.p, 150, 140, func(sp *sim.Proc) {
+			// Under kernel domains a re-resolution that discovers the
+			// entry re-homed into another domain cannot proxy for free:
+			// the attempt fails like a timeout and the client retries
+			// against the new owner — an ESTALE redirect, priced as a
+			// retry. rehomed reports (and records) that condition.
+			rehomed := func(q *sim.Proc, st *shardSrv) bool {
+				if f.domained() && f.sliceKernel(st.index) != q.Kernel() {
+					moved = true
+					return true
+				}
+				return false
+			}
+			terr := f.conn(c.node, srv).TryCallDom(c.p, 150, 140, func(sp *sim.Proc) {
 				// Re-resolve both ends at service time, like callEntry: a
 				// split landing while this request queued may have
 				// re-homed either entry.
 				srcState := f.entryState(oldPath)
+				if rehomed(sp, srcState) {
+					sp.Sleep(f.cfg.RetryTimeout)
+					return
+				}
 				srcN := dirEntries(srcState.ns, oldPath)
 				f.serviceOp(sp, srv, cfg.RenameService, srcN, writeInfo(oldPath, srcN))
 				srcState = f.entryState(oldPath) // the charge may have overlapped a split
+				if rehomed(sp, srcState) {
+					sp.Sleep(f.cfg.RetryTimeout)
+					return
+				}
 				var a fs.Attr
 				a, err = srcState.ns.Stat(oldPath)
 				if err != nil {
@@ -1459,6 +1746,7 @@ func (c *client) Rename(oldPath, newPath string) error {
 					sp.Sleep(f.cfg.RetryTimeout)
 					return
 				}
+				dstParentN := -1
 				// Phase 1: insert at the destination shard.
 				f.hop(sp, dstSrv, func(q *sim.Proc) {
 					dstN := dirEntries(dstState.ns, newPath)
@@ -1466,6 +1754,9 @@ func (c *client) Rename(oldPath, newPath string) error {
 					// Commit-instant re-resolution after the hop+charge
 					// waits.
 					dstState = f.entryState(newPath)
+					if rehomed(q, dstState) {
+						return
+					}
 					if derr := dstState.ns.Unlink(newPath, q.Now()); derr != nil && !fs.IsNotExist(derr) {
 						err = derr
 						return
@@ -1483,15 +1774,35 @@ func (c *client) Rename(oldPath, newPath string) error {
 						// need this very pool for its mirror round trip.
 						dstSrv.be.log(q, cfg.MetaLogBytes)
 						f.commit(q, dstState, dstSrv, fs.OpRename, newPath)
+						if f.domained() {
+							// The coordinator cannot read the destination
+							// parent from its domain: capture the split
+							// trigger's entry count (and the new entry's
+							// attributes) here, at the insert instant.
+							if ndir, nlerr := dstState.ns.Lookup(fs.ParentDir(newPath)); nlerr == nil {
+								dstParentN = ndir.NumChildren()
+							}
+							c.captureEntry(q, newPath)
+						}
 					}
 				})
-				if err != nil {
+				if err != nil || moved {
+					if moved {
+						sp.Sleep(f.cfg.RetryTimeout)
+					}
 					return
 				}
 				// Phase 2: remove at the source shard.
 				rmN := dirEntries(srcState.ns, oldPath)
 				f.chargeOp(sp, srcState, cfg.RemoveService, rmN, writeInfo(oldPath, rmN))
 				srcState = f.entryState(oldPath) // commit-instant re-resolution
+				if rehomed(sp, srcState) {
+					// The destination insert stands; the retry's source
+					// removal is idempotent (phase 1 tolerates an existing
+					// destination entry).
+					sp.Sleep(f.cfg.RetryTimeout)
+					return
+				}
 				err = srcState.ns.Unlink(oldPath, sp.Now())
 				if err == nil {
 					f.revokeOnMutate(sp, c.st(), oldPath, true)
@@ -1500,12 +1811,16 @@ func (c *client) Rename(oldPath, newPath string) error {
 					// from the coordinator, never from inside the hop —
 					// a split hops to peer pools itself, and peer-pool
 					// threads must not wait on other peer pools.
-					if ndir, nlerr := dstState.ns.Lookup(fs.ParentDir(newPath)); nlerr == nil {
+					if f.domained() {
+						if dstParentN >= 0 {
+							f.maybeSplit(sp, fs.ParentDir(newPath), dstParentN, c.st())
+						}
+					} else if ndir, nlerr := dstState.ns.Lookup(fs.ParentDir(newPath)); nlerr == nil {
 						f.maybeSplit(sp, fs.ParentDir(newPath), ndir.NumChildren(), c.st())
 					}
 				}
 			})
-			return terr != nil || dstDown
+			return terr != nil || dstDown || moved
 		})
 		if cerr != nil {
 			return cerr
@@ -1538,24 +1853,31 @@ func (c *client) Link(oldPath, newPath string) error {
 	defer imutex.Unlock()
 	var err error
 	cerr := c.callEntry("link", newPath, 150, 140, func(sp *sim.Proc, state, srv *shardSrv) {
-		f.serviceOp(sp, srv, cfg.CreateService, -1, writeInfo(newPath, -1))
-		// Commit-instant re-check: a split landing while this request
-		// queued or charged can separate the two names' partitions.
-		state = f.entryState(newPath)
-		if f.ownerSlice(oldPath) != f.ownerSlice(newPath) {
-			err = fs.NewError("link", newPath, fs.EXDEV)
-			return
-		}
-		err = state.ns.Link(oldPath, newPath, sp.Now())
-		if err == nil {
-			// The link bumps the target's nlink: both names go stale.
-			f.revokeOnMutate(sp, c.st(), oldPath, false)
-			f.revokeOnMutate(sp, c.st(), newPath, true)
-			f.persist(sp, state, srv, fs.OpLink, newPath, cfg.MetaLogBytes)
-			if dir, lerr := state.ns.Lookup(fs.ParentDir(newPath)); lerr == nil {
-				f.maybeSplit(sp, fs.ParentDir(newPath), dir.NumChildren(), c.st())
-			}
-		}
+		f.applyState(sp, state, srv, func(sp *sim.Proc, at *shardSrv, _ bool) {
+			f.serviceOp(sp, at, cfg.CreateService, -1, writeInfo(newPath, -1))
+			// Commit-instant re-check: a split landing while this request
+			// queued or charged can separate the two names' partitions.
+			state2 := f.entryState(newPath)
+			f.applyState(sp, state2, at, func(q *sim.Proc, at2 *shardSrv, _ bool) {
+				if f.ownerSlice(oldPath) != f.ownerSlice(newPath) {
+					err = fs.NewError("link", newPath, fs.EXDEV)
+					return
+				}
+				err = state2.ns.Link(oldPath, newPath, q.Now())
+				if err == nil {
+					// The link bumps the target's nlink: both names go stale.
+					f.revokeOnMutate(q, c.st(), oldPath, false)
+					f.revokeOnMutate(q, c.st(), newPath, true)
+					f.persistAt(q, state2, at2, srv, fs.OpLink, newPath, cfg.MetaLogBytes)
+					if at2 == srv {
+						if dir, lerr := state2.ns.Lookup(fs.ParentDir(newPath)); lerr == nil {
+							f.maybeSplit(q, fs.ParentDir(newPath), dir.NumChildren(), c.st())
+						}
+					}
+					c.captureEntry(q, newPath)
+				}
+			})
+		})
 	})
 	if cerr != nil {
 		return cerr
@@ -1579,16 +1901,23 @@ func (c *client) Symlink(target, linkPath string) error {
 	defer imutex.Unlock()
 	var err error
 	cerr := c.callEntry("symlink", linkPath, 150, 140, func(sp *sim.Proc, state, srv *shardSrv) {
-		f.serviceOp(sp, srv, cfg.CreateService, -1, writeInfo(linkPath, -1))
-		state = f.entryState(linkPath) // the charge may have overlapped a split
-		_, err = state.ns.Symlink(target, linkPath, sp.Now())
-		if err == nil {
-			f.revokeOnMutate(sp, c.st(), linkPath, true)
-			f.persist(sp, state, srv, fs.OpSymlink, linkPath, cfg.MetaLogBytes)
-			if dir, lerr := state.ns.Lookup(fs.ParentDir(linkPath)); lerr == nil {
-				f.maybeSplit(sp, fs.ParentDir(linkPath), dir.NumChildren(), c.st())
-			}
-		}
+		f.applyState(sp, state, srv, func(sp *sim.Proc, at *shardSrv, _ bool) {
+			f.serviceOp(sp, at, cfg.CreateService, -1, writeInfo(linkPath, -1))
+			state2 := f.entryState(linkPath) // the charge may have overlapped a split
+			f.applyState(sp, state2, at, func(q *sim.Proc, at2 *shardSrv, _ bool) {
+				_, err = state2.ns.Symlink(target, linkPath, q.Now())
+				if err == nil {
+					f.revokeOnMutate(q, c.st(), linkPath, true)
+					f.persistAt(q, state2, at2, srv, fs.OpSymlink, linkPath, cfg.MetaLogBytes)
+					if at2 == srv {
+						if dir, lerr := state2.ns.Lookup(fs.ParentDir(linkPath)); lerr == nil {
+							f.maybeSplit(q, fs.ParentDir(linkPath), dir.NumChildren(), c.st())
+						}
+					}
+					c.captureEntry(q, linkPath)
+				}
+			})
+		})
 	})
 	if cerr != nil {
 		return cerr
@@ -1616,12 +1945,16 @@ func (c *client) Stat(p string) (fs.Attr, error) {
 	var a fs.Attr
 	var err error
 	cerr := c.callEntry("stat", p, 120, 140, func(sp *sim.Proc, state, srv *shardSrv) {
-		f.serviceOp(sp, srv, cfg.GetattrService, -1, f.readInfo(state, p))
-		state = f.entryState(p) // the charge may have overlapped a split
-		a, err = state.ns.Stat(p)
-		if err == nil {
-			c.fillEntry(sp, p, a)
-		}
+		f.applyState(sp, state, srv, func(sp *sim.Proc, at *shardSrv, _ bool) {
+			f.serviceOp(sp, at, cfg.GetattrService, -1, f.readInfo(state, p))
+			state2 := f.entryState(p) // the charge may have overlapped a split
+			f.applyState(sp, state2, at, func(q *sim.Proc, _ *shardSrv, _ bool) {
+				a, err = state2.ns.Stat(p)
+				if err == nil {
+					c.fillEntry(q, p, a)
+				}
+			})
+		})
 	})
 	if cerr != nil {
 		return fs.Attr{}, cerr
@@ -1643,6 +1976,12 @@ func (c *client) Open(p string) (fs.Handle, error) {
 	}
 	st := c.st()
 	ino, neg, ok := st.dentries.Lookup(p)
+	if ok && neg {
+		return 0, fs.NewError("open", p, fs.ENOENT)
+	}
+	if f.domained() {
+		return c.openDomained(p, ino, ok)
+	}
 	if !ok {
 		var err error
 		cerr := c.callEntry("open", p, 120, 140, func(sp *sim.Proc, state, srv *shardSrv) {
@@ -1663,8 +2002,6 @@ func (c *client) Open(p string) (fs.Handle, error) {
 		if err != nil {
 			return 0, err
 		}
-	} else if neg {
-		return 0, fs.NewError("open", p, fs.ENOENT)
 	}
 	slice := f.ownerSlice(p)
 	state := f.shards[slice]
@@ -1684,10 +2021,62 @@ func (c *client) Open(p string) (fs.Handle, error) {
 		ino = node.Ino
 		st.dentries.PutPositive(p, ino)
 	}
+	return c.newHandle(p, slice, ino, node.Size), nil
+}
+
+// openDomained is Open under kernel domains. The single-kernel model
+// revalidates a cached dentry with a free peek at the owning slice's
+// namespace; across domains that state is unreadable from the client,
+// so a dentry whose attributes are still cached opens locally —
+// incarnation staleness surfaces at flush as ESTALE through the
+// handle-chasing guards — and anything else pays one LOOKUP RPC that
+// resolves ino and size in the owner's domain.
+func (c *client) openDomained(p string, ino fs.Ino, ok bool) (fs.Handle, error) {
+	f := c.fsys
+	cfg := c.cfg()
+	st := c.st()
+	var size int64
+	haveSize := false
+	if ok {
+		if a, aok := c.cachedAttr(p); aok && a.Ino == ino {
+			size, haveSize = a.Size, true
+		}
+	}
+	if !haveSize {
+		var err error
+		cerr := c.callEntry("open", p, 120, 140, func(sp *sim.Proc, state, srv *shardSrv) {
+			f.applyState(sp, state, srv, func(sp *sim.Proc, at *shardSrv, _ bool) {
+				f.serviceOp(sp, at, cfg.LookupService, -1, f.readInfo(state, p))
+				state2 := f.entryState(p) // the charge may have overlapped a split
+				f.applyState(sp, state2, at, func(q *sim.Proc, _ *shardSrv, _ bool) {
+					var a fs.Attr
+					a, err = state2.ns.Stat(p)
+					if err == nil {
+						ino, size = a.Ino, a.Size
+						c.fillEntry(q, p, a)
+					} else {
+						simnet.Defer(q, func() { st.dentries.PutNegative(p) })
+					}
+				})
+			})
+		})
+		if cerr != nil {
+			return 0, cerr
+		}
+		if err != nil {
+			return 0, err
+		}
+		st.dentries.PutPositive(p, ino)
+	}
+	return c.newHandle(p, f.ownerSlice(p), ino, size), nil
+}
+
+// newHandle allocates a file handle bound to the entry's owning slice.
+func (c *client) newHandle(p string, slice int, ino fs.Ino, size int64) fs.Handle {
 	c.nextFH++
 	h := c.nextFH
-	c.handles[h] = &openFile{path: p, slice: slice, ino: ino, size: node.Size}
-	return h, nil
+	c.handles[h] = &openFile{path: p, slice: slice, ino: ino, size: size}
+	return h
 }
 
 // Close flushes dirty data (close-to-open consistency).
@@ -1748,15 +2137,27 @@ func (c *client) flush(of *openFile) error {
 		// loudly rather than touch an unrelated same-name replacement.
 		id = f.chaseMoves(id)
 		state = f.shards[id.slice]
-		if state.ns.Get(id.ino) == nil {
-			err = fs.NewError("write", of.path, fs.ESTALE)
-			return
-		}
-		state.ns.SetSize(id.ino, newSize, sp.Now())
-		// Size and mtime changed: other holders' attribute leases die;
-		// the parent directory is untouched by a content write.
-		f.revokeOnMutate(sp, c.st(), of.path, false)
-		f.persist(sp, state, srv, fs.OpWrite, of.path, cfg.MetaLogBytes+written)
+		f.applyState(sp, state, srv, func(q *sim.Proc, at *shardSrv, _ bool) {
+			if state.ns.Get(id.ino) == nil {
+				err = fs.NewError("write", of.path, fs.ESTALE)
+				return
+			}
+			state.ns.SetSize(id.ino, newSize, q.Now())
+			// Size and mtime changed: other holders' attribute leases die;
+			// the parent directory is untouched by a content write.
+			f.revokeOnMutate(q, c.st(), of.path, false)
+			f.persistAt(q, state, at, srv, fs.OpWrite, of.path, cfg.MetaLogBytes+written)
+			if f.domained() {
+				// The client-side refresh below cannot peek across
+				// domains: refill here, at the commit instant, when the
+				// written name still resolves in this domain.
+				if est := f.entryState(of.path); f.sliceKernel(est.index) == q.Kernel() {
+					if a, serr := est.ns.Stat(of.path); serr == nil {
+						c.fillEntry(q, of.path, a)
+					}
+				}
+			}
+		})
 	})
 	if cerr != nil {
 		return cerr
@@ -1768,8 +2169,10 @@ func (c *client) flush(of *openFile) error {
 	of.size = newSize
 	of.written = 0
 	of.dirty = false
-	if a, serr := f.shards[f.ownerSlice(of.path)].ns.Stat(of.path); serr == nil {
-		c.fillEntry(c.p, of.path, a)
+	if !f.domained() {
+		if a, serr := f.shards[f.ownerSlice(of.path)].ns.Stat(of.path); serr == nil {
+			c.fillEntry(c.p, of.path, a)
+		}
 	}
 	return nil
 }
@@ -1777,7 +2180,7 @@ func (c *client) flush(of *openFile) error {
 // readdirCost returns the service time of listing n entries: one
 // ReaddirService per 512-entry page plus the per-entry cost, the same
 // paging model as the NFS READDIR path.
-func readdirCost(cfg Config, n int) time.Duration {
+func readdirCost(cfg *Config, n int) time.Duration {
 	pages := (n + 511) / 512
 	if pages < 1 {
 		pages = 1
@@ -1813,44 +2216,46 @@ func (c *client) ReadDir(p string) ([]fs.DirEntry, error) {
 		var ents []fs.DirEntry
 		var err error
 		cerr := c.call("readdir", p, homeSlice, 130, 260, func(sp *sim.Proc, home, srv *shardSrv) {
-			ents, err = home.ns.ReadDir(p, sp.Now())
-			if err != nil {
-				f.serviceOp(sp, srv, cfg.ReaddirService, -1, scanInfo())
-				return
-			}
-			f.serviceOp(sp, srv, readdirCost(cfg, len(ents)), -1, scanInfo())
-			for i := range f.shards {
-				if i == homeSlice {
-					continue
+			f.applyState(sp, home, srv, func(sp *sim.Proc, at *shardSrv, _ bool) {
+				ents, err = home.ns.ReadDir(p, sp.Now())
+				if err != nil {
+					f.serviceOp(sp, at, cfg.ReaddirService, -1, scanInfo())
+					return
 				}
-				peer := f.srvFor(i)
-				state := f.shards[i]
-				if peer == srv {
-					// A failover made this server serve the peer slice
-					// too: merge locally, no interconnect hop.
-					more, merr := state.ns.ReadDir(p, sp.Now())
-					if merr == nil {
-						f.chargeOp(sp, srv, readdirCost(cfg, len(more)), -1, scanInfo())
+				f.serviceOp(sp, at, readdirCost(cfg, len(ents)), -1, scanInfo())
+				for i := range f.shards {
+					if i == homeSlice {
+						continue
+					}
+					peer := f.srvFor(i)
+					state := f.shards[i]
+					if peer == at {
+						// A failover made this server serve the peer slice
+						// too: merge locally, no interconnect hop.
+						more, merr := state.ns.ReadDir(p, sp.Now())
+						if merr == nil {
+							f.chargeOp(sp, at, readdirCost(cfg, len(more)), -1, scanInfo())
+							ents = append(ents, more...)
+						}
+						continue
+					}
+					if !peer.up {
+						// The peer's subtrees are unreachable: the merge
+						// degrades to a partial listing, surfaced on the FS
+						// so callers and experiments can see the loss.
+						addI64(&f.PartialListings, 1)
+						continue
+					}
+					f.hop(sp, peer, func(q *sim.Proc) {
+						more, merr := state.ns.ReadDir(p, q.Now())
+						if merr != nil {
+							return
+						}
+						f.chargeOp(q, peer, readdirCost(cfg, len(more)), -1, scanInfo())
 						ents = append(ents, more...)
-					}
-					continue
+					})
 				}
-				if !peer.up {
-					// The peer's subtrees are unreachable: the merge
-					// degrades to a partial listing, surfaced on the FS
-					// so callers and experiments can see the loss.
-					f.PartialListings++
-					continue
-				}
-				f.hop(sp, peer, func(q *sim.Proc) {
-					more, merr := state.ns.ReadDir(p, q.Now())
-					if merr != nil {
-						return
-					}
-					f.chargeOp(q, peer, readdirCost(cfg, len(more)), -1, scanInfo())
-					ents = append(ents, more...)
-				})
-			}
+			})
 		})
 		if cerr != nil {
 			return nil, cerr
@@ -1860,12 +2265,14 @@ func (c *client) ReadDir(p string) ([]fs.DirEntry, error) {
 	var ents []fs.DirEntry
 	var err error
 	cerr := c.call("readdir", p, slice, 130, 260, func(sp *sim.Proc, state, srv *shardSrv) {
-		ents, err = state.ns.ReadDir(p, sp.Now())
-		if err != nil {
-			f.serviceOp(sp, srv, cfg.ReaddirService, -1, scanInfo())
-			return
-		}
-		f.serviceOp(sp, srv, readdirCost(cfg, len(ents)), -1, scanInfo())
+		f.applyState(sp, state, srv, func(sp *sim.Proc, at *shardSrv, _ bool) {
+			ents, err = state.ns.ReadDir(p, sp.Now())
+			if err != nil {
+				f.serviceOp(sp, at, cfg.ReaddirService, -1, scanInfo())
+				return
+			}
+			f.serviceOp(sp, at, readdirCost(cfg, len(ents)), -1, scanInfo())
+		})
 	})
 	if cerr != nil {
 		return nil, cerr

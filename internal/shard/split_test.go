@@ -805,7 +805,7 @@ func TestReaddirCostPageBoundaries(t *testing.T) {
 	}
 	for _, tc := range cases {
 		want := time.Duration(tc.pages)*cfg.ReaddirService + time.Duration(tc.n)*cfg.ReaddirPerEntry
-		if got := readdirCost(cfg, tc.n); got != want {
+		if got := readdirCost(&cfg, tc.n); got != want {
 			t.Errorf("readdirCost(%d) = %v, want %v (%d page(s))", tc.n, got, want, tc.pages)
 		}
 	}

@@ -130,6 +130,19 @@ type Kernel struct {
 	halted  bool
 	horizon Time    // events beyond this virtual time stay queued
 	procs   []*Proc // all spawned procs, for deadlock diagnostics
+	// dispatched counts events executed by this kernel — in a domain
+	// group it is the per-domain work share, the quantity the parallel
+	// speedup bound is computed from (DESIGN.md, "Parallel DES").
+	dispatched int64
+	// dom is non-nil when this kernel is one domain of a DomainGroup
+	// (domain.go); scheduling then runs in lookahead windows and
+	// termination is decided at group level.
+	dom *Domain
+	// free holds idle pooled trampoline procs for cross-domain message
+	// delivery (spawnMsgAt): one goroutine + Proc + channel is reused
+	// across messages instead of being created per message. Only ever
+	// touched while holding the kernel's single execution token.
+	free []*Proc
 }
 
 // New returns a kernel whose random source is seeded with seed.
@@ -167,16 +180,28 @@ func (k *Kernel) schedule(p *Proc, at Time) {
 // horizon — in those cases the caller must return control to the kernel
 // goroutine instead.
 func (k *Kernel) dispatchNext() bool {
-	if k.live <= k.daemons || k.queue.len() == 0 || k.queue.e[0].at > k.horizon {
+	if k.queue.len() == 0 || k.queue.e[0].at > k.horizon {
+		return false
+	}
+	if k.live <= k.daemons && k.dom == nil {
+		// Only daemons left: a plain kernel terminates, but a domain
+		// kernel keeps its daemons on the window grid — the group
+		// decides termination from the global live count.
 		return false
 	}
 	ev := k.queue.pop()
 	if ev.at > k.now {
 		k.now = ev.at
 	}
+	k.dispatched++
 	ev.p.resume <- struct{}{}
 	return true
 }
+
+// Dispatched returns the number of events this kernel has executed. In a
+// domain group each member kernel counts its own events, so the per-
+// domain shares expose how evenly the parallel workload is distributed.
+func (k *Kernel) Dispatched() int64 { return k.dispatched }
 
 // Proc is a simulated process. Procs are created with Kernel.Spawn or
 // Proc.Spawn and must only call kernel methods while running (i.e. from
@@ -188,11 +213,22 @@ type Proc struct {
 	resume chan struct{}
 	done   bool
 	daemon bool
+	// fn is the pending body of a pooled trampoline proc (spawnMsgAt);
+	// always nil for ordinary procs.
+	fn func(p *Proc)
+	// slot is this proc's index in k.procs; finished procs are
+	// swap-removed so the diagnostics slice never pins dead procs (the
+	// domained substrate spawns one short-lived proc per cross-domain
+	// message, and a growing graveyard is pure GC scan load).
+	slot int
 	// waiters are procs blocked in Join on this proc.
 	waiters []*Proc
 	// blockedOn is a short description of the current blocking reason,
 	// used in deadlock reports.
 	blockedOn string
+	// Ctx is a free slot for harness layers (internal/simnet threads its
+	// cross-domain call context through it); the kernel never touches it.
+	Ctx any
 }
 
 // ID returns the process id (assigned in spawn order, starting at 1).
@@ -222,18 +258,34 @@ func (k *Kernel) SpawnDaemon(name string, fn func(p *Proc)) *Proc {
 	return k.spawn(name, fn, true)
 }
 
+// spawnAt is spawn with the first scheduling at a future time instead of
+// now — the delivery primitive for cross-domain messages.
+func (k *Kernel) spawnAt(name string, at Time, fn func(p *Proc)) *Proc {
+	p := k.spawnProc(name, fn, false)
+	k.schedule(p, at)
+	return p
+}
+
 func (k *Kernel) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
+	p := k.spawnProc(name, fn, daemon)
+	k.schedule(p, k.now)
+	return p
+}
+
+func (k *Kernel) spawnProc(name string, fn func(p *Proc), daemon bool) *Proc {
 	k.procSeq++
 	p := &Proc{k: k, id: k.procSeq, name: name, resume: make(chan struct{}), daemon: daemon}
 	k.live++
 	if daemon {
 		k.daemons++
 	}
+	p.slot = len(k.procs)
 	k.procs = append(k.procs, p)
 	go func() {
 		<-p.resume // wait for first scheduling
 		fn(p)
 		p.done = true
+		k.removeProc(p)
 		k.live--
 		if p.daemon {
 			k.daemons--
@@ -250,8 +302,77 @@ func (k *Kernel) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
 			k.parked <- p
 		}
 	}()
-	k.schedule(p, k.now)
 	return p
+}
+
+// spawnMsgAt schedules fn like spawnAt but on a pooled trampoline proc:
+// cross-domain delivery creates one short-lived proc per message, and
+// recycling the goroutine, Proc and resume channel keeps that off the
+// allocator and the GC scan set. Pooled procs are invisible outside the
+// kernel — deliver() never hands the *Proc to callers, so the reuse can
+// never confuse a Join (which is the reason plain Spawn does not pool).
+func (k *Kernel) spawnMsgAt(name string, at Time, fn func(p *Proc)) {
+	if n := len(k.free); n > 0 {
+		p := k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		k.procSeq++
+		p.id = k.procSeq
+		p.name = name
+		p.fn = fn
+		p.done = false
+		p.slot = len(k.procs)
+		k.procs = append(k.procs, p)
+		k.live++
+		k.schedule(p, at)
+		return
+	}
+	k.procSeq++
+	p := &Proc{k: k, id: k.procSeq, name: name, resume: make(chan struct{}), fn: fn}
+	k.live++
+	p.slot = len(k.procs)
+	k.procs = append(k.procs, p)
+	go func() {
+		for {
+			<-p.resume // wait for (re)scheduling
+			p.fn(p)
+			p.fn = nil
+			p.done = true
+			k.removeProc(p)
+			k.live--
+			for _, w := range p.waiters {
+				w.blockedOn = ""
+				k.blocked--
+				k.schedule(w, k.now)
+			}
+			p.waiters = nil
+			p.Ctx = nil
+			k.free = append(k.free, p)
+			// Hand control to the next runnable process; wake the kernel
+			// goroutine only when nothing may run.
+			if !k.dispatchNext() {
+				k.parked <- p
+			}
+		}
+	}()
+	k.schedule(p, at)
+}
+
+// removeProc swap-removes a finished proc from the diagnostics slice.
+// It runs on the exiting proc's goroutine, which holds the kernel's
+// single execution token, so no other proc or the kernel goroutine can
+// touch k.procs concurrently.
+func (k *Kernel) removeProc(p *Proc) {
+	last := len(k.procs) - 1
+	if p.slot < 0 || p.slot > last || k.procs[p.slot] != p {
+		return
+	}
+	q := k.procs[last]
+	k.procs[p.slot] = q
+	q.slot = p.slot
+	k.procs[last] = nil
+	k.procs = k.procs[:last]
+	p.slot = -1
 }
 
 // Spawn starts a child process from a running process.
@@ -354,8 +475,13 @@ func (e *DeadlockError) Error() string {
 
 // Run executes the simulation until no events remain. It returns a
 // *DeadlockError if live processes remain blocked with an empty event
-// queue, and nil otherwise.
+// queue, and nil otherwise. On a kernel that belongs to a DomainGroup,
+// Run drives the whole group's window loop — callers need not know
+// whether the simulation was partitioned.
 func (k *Kernel) Run() error {
+	if k.dom != nil {
+		return k.dom.g.Run()
+	}
 	return k.run(forever)
 }
 
@@ -376,6 +502,9 @@ func (k *Kernel) blockedProcNames() []string {
 // remain, whichever comes first. Processes still runnable when t is
 // reached remain parked; a subsequent Run/RunFor continues them.
 func (k *Kernel) RunFor(t Time) error {
+	if k.dom != nil {
+		return k.dom.g.RunFor(t)
+	}
 	return k.run(t)
 }
 

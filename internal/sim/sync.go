@@ -48,12 +48,19 @@ func (s *Semaphore) QueueLen() int { return s.q.len() }
 func (s *Semaphore) Acquire(p *Proc, n int64) { s.AcquirePri(p, n, 0) }
 
 // AcquirePri is Acquire with an explicit priority (lower = sooner).
+//
+// Scheduling bookkeeping (seq numbers, wake-ups) runs on the waiting
+// process's own kernel, not the kernel the primitive was created on:
+// under a domain group a primitive's ownership can migrate between
+// domains at sync points (a promoted backup inherits its dead partner's
+// locks), and each domain must only ever touch its own event queue.
+// With a single kernel both are the same object.
 func (s *Semaphore) AcquirePri(p *Proc, n int64, pri int) {
 	if s.q.len() == 0 && s.units >= n {
 		s.units -= n
 		return
 	}
-	s.q.push(waiter{p: p, pri: pri, seq: s.k.nextSeq(), n: n})
+	s.q.push(waiter{p: p, pri: pri, seq: p.k.nextSeq(), n: n})
 	p.block("sem:" + s.name)
 }
 
@@ -63,7 +70,7 @@ func (s *Semaphore) Release(n int64) {
 	for s.q.len() > 0 && s.q.e[0].n <= s.units {
 		w := s.q.pop()
 		s.units -= w.n
-		s.k.wake(w.p)
+		w.p.k.wake(w.p)
 	}
 }
 
@@ -112,7 +119,7 @@ func (b *Barrier) Wait(p *Proc) {
 	}
 	if len(b.arrived) == b.parties-1 {
 		for _, q := range b.arrived {
-			b.k.wake(q)
+			q.k.wake(q)
 		}
 		b.arrived = b.arrived[:0]
 		return
@@ -145,13 +152,13 @@ func (c *Cond) Signal() {
 	}
 	p := c.q[0]
 	c.q = c.q[1:]
-	c.k.wake(p)
+	p.k.wake(p)
 }
 
 // Broadcast wakes all waiters.
 func (c *Cond) Broadcast() {
 	for _, p := range c.q {
-		c.k.wake(p)
+		p.k.wake(p)
 	}
 	c.q = c.q[:0]
 }

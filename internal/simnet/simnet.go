@@ -43,14 +43,22 @@ type Server struct {
 	Name    string
 	Threads *sim.Resource
 
+	k     *sim.Kernel
 	down  bool
 	downs int64
 }
 
 // NewServer returns a server with the given number of worker threads.
+// The kernel is where the server's state lives: when it belongs to a
+// domain group, RPCs from other domains run their service bodies in
+// that domain via the cross-domain rendezvous.
 func NewServer(k *sim.Kernel, name string, threads int) *Server {
-	return &Server{Name: name, Threads: sim.NewResource(k, "srv:"+name, threads)}
+	return &Server{Name: name, k: k, Threads: sim.NewResource(k, "srv:"+name, threads)}
 }
+
+// Kernel returns the kernel (and therefore the domain) the server's
+// state lives on.
+func (s *Server) Kernel() *sim.Kernel { return s.k }
 
 // SetDown marks the server crashed: subsequent (and already queued)
 // TryCall requests fail with ErrDown until SetUp. State changes take
@@ -128,16 +136,103 @@ func (c *Conn) send(p *sim.Proc, n int64) {
 	p.Sleep(c.Latency)
 }
 
+// callCtx is the per-RPC context the cross-domain path threads through
+// sim.Proc.Ctx: service bodies register reply work on it via Defer.
+type callCtx struct {
+	thunks []func()
+}
+
+// Defer registers fn as reply-time work for the RPC whose service body
+// is running on p: state the protocol conceptually ships back to the
+// client (cache fills, lease grants) must mutate client-side structures
+// in the client's domain, not the server's. On the inline (same-kernel)
+// path fn runs immediately — the legacy zero-copy semantics; on the
+// cross-domain path it runs in the client's process right after the
+// reply arrives, which is both deterministic and race-free (the client
+// resumes only after a window barrier). Outside any RPC, fn runs
+// immediately.
+func Defer(p *sim.Proc, fn func()) {
+	if cc, ok := p.Ctx.(*callCtx); ok && cc != nil {
+		cc.thunks = append(cc.thunks, fn)
+		return
+	}
+	fn()
+}
+
+// Deferred reports whether Defer(p, fn) would queue fn for reply
+// delivery rather than run it inline — i.e. whether p is a cross-domain
+// service body. Hot paths branch on it so the inline (single-kernel)
+// case performs the work directly instead of allocating a closure that
+// Defer would only call on the spot.
+func Deferred(p *sim.Proc) bool {
+	cc, ok := p.Ctx.(*callCtx)
+	return ok && cc != nil
+}
+
+// cross reports whether an RPC from p to the server must rendezvous
+// across domains.
+func (c *Conn) cross(p *sim.Proc) bool {
+	return c.srv.k != p.Kernel() && p.Kernel().Group() != nil &&
+		p.Kernel().Group() == c.srv.k.Group()
+}
+
 // Call performs a synchronous RPC: request transfer and propagation,
 // queueing for a server thread, the caller-supplied service body, then
 // the reply path. service runs while holding a server thread; it charges
-// whatever virtual time the operation costs at the server.
+// whatever virtual time the operation costs at the server. The caller
+// must share a kernel with the server — callers that may live in
+// another domain of a DomainGroup use CallDom.
 func (c *Conn) Call(p *sim.Proc, reqBytes, respBytes int64, service func(p *sim.Proc)) {
 	c.send(p, reqBytes)
 	c.srv.Threads.Acquire(p)
 	service(p)
 	c.srv.Threads.Release()
 	c.send(p, respBytes)
+}
+
+// CallDom is Call for callers that may run in a different kernel domain
+// than the server (internal/shard under Config.Domains). When they do,
+// the body executes in the server's domain (a fresh process created by
+// the message delivery) while the caller blocks; the one-way latency is
+// carried by the message timestamps instead of caller sleeps, and
+// Defer'd reply work runs in the caller's domain after it resumes.
+// Virtual-time cost is identical to the inline path.
+//
+// It is a separate method, not a branch inside Call, for an allocation
+// reason: the cross-domain path stores service in a message, which
+// makes the parameter escape — and Go decides escape per function, so
+// folding the branch into Call would heap-allocate the service closure
+// of every single-kernel RPC in every FS model. Callers that can never
+// be domained use Call and keep their closures on the stack.
+func (c *Conn) CallDom(p *sim.Proc, reqBytes, respBytes int64, service func(p *sim.Proc)) {
+	if c.cross(p) {
+		c.callCross(p, reqBytes, respBytes, service)
+		return
+	}
+	c.Call(p, reqBytes, respBytes, service)
+}
+
+// callCross is the cross-domain rendezvous half of Call.
+func (c *Conn) callCross(p *sim.Proc, reqBytes, respBytes int64, service func(p *sim.Proc)) {
+	if c.wire != nil && reqBytes > 0 {
+		c.wire.Use(p, c.transferTime(reqBytes))
+	}
+	cc := &callCtx{}
+	saved := p.Ctx
+	p.Ctx = cc
+	srv := c.srv
+	sim.Call(p, srv.k, c.Latency, "rpc:"+srv.Name, func(q *sim.Proc) {
+		srv.Threads.Acquire(q)
+		service(q)
+		srv.Threads.Release()
+	})
+	p.Ctx = saved
+	for _, fn := range cc.thunks {
+		fn()
+	}
+	if c.wire != nil && respBytes > 0 {
+		c.wire.Use(p, c.transferTime(respBytes))
+	}
 }
 
 // failTimeout returns the effective client RPC timeout.
@@ -174,6 +269,60 @@ func (c *Conn) TryCall(p *sim.Proc, reqBytes, respBytes int64, service func(p *s
 	return nil
 }
 
+// TryCallDom is TryCall for callers that may run in a different kernel
+// domain than the server — split out of TryCall for the same
+// closure-escape reason as CallDom.
+func (c *Conn) TryCallDom(p *sim.Proc, reqBytes, respBytes int64, service func(p *sim.Proc)) error {
+	// The down flag is safe to read from any domain: under a domain
+	// group it only flips at sync points, where every domain is parked
+	// (the window barrier is the happens-before edge).
+	if c.cross(p) {
+		if c.srv.down {
+			p.Sleep(c.failTimeout())
+			return ErrDown
+		}
+		return c.tryCallCross(p, reqBytes, respBytes, service)
+	}
+	return c.TryCall(p, reqBytes, respBytes, service)
+}
+
+// tryCallCross is the cross-domain rendezvous half of TryCall. A crash
+// landing while the request is queued is detected in the server's
+// domain; the client then waits out its RPC timer after the (wasted)
+// round trip.
+func (c *Conn) tryCallCross(p *sim.Proc, reqBytes, respBytes int64, service func(p *sim.Proc)) error {
+	if c.wire != nil && reqBytes > 0 {
+		c.wire.Use(p, c.transferTime(reqBytes))
+	}
+	cc := &callCtx{}
+	saved := p.Ctx
+	p.Ctx = cc
+	srv := c.srv
+	crashed := false
+	sim.Call(p, srv.k, c.Latency, "rpc:"+srv.Name, func(q *sim.Proc) {
+		srv.Threads.Acquire(q)
+		if srv.down {
+			srv.Threads.Release()
+			crashed = true
+			return
+		}
+		service(q)
+		srv.Threads.Release()
+	})
+	p.Ctx = saved
+	if crashed {
+		p.Sleep(c.failTimeout())
+		return ErrDown
+	}
+	for _, fn := range cc.thunks {
+		fn()
+	}
+	if c.wire != nil && respBytes > 0 {
+		c.wire.Use(p, c.transferTime(respBytes))
+	}
+	return nil
+}
+
 // OneWay models a fire-and-forget message (used for asynchronous
 // write-back flushes): the sender pays the transfer cost and the service
 // body runs in a spawned process after the propagation delay.
@@ -183,6 +332,14 @@ func (c *Conn) OneWay(p *sim.Proc, reqBytes int64, service func(p *sim.Proc)) {
 	}
 	lat := c.Latency
 	srv := c.srv
+	if c.cross(p) {
+		sim.Post(p, srv.k, lat, "oneway:"+srv.Name, func(q *sim.Proc) {
+			srv.Threads.Acquire(q)
+			service(q)
+			srv.Threads.Release()
+		})
+		return
+	}
 	p.Spawn("oneway:"+srv.Name, func(q *sim.Proc) {
 		q.Sleep(lat)
 		srv.Threads.Acquire(q)

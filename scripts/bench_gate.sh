@@ -3,9 +3,9 @@
 #
 # Runs the substrate benchmarks into a fresh snapshot (bench-out/ by
 # default), compares BenchmarkSimulatedCreate, BenchmarkCachedGetattr,
-# BenchmarkSplitCreate and BenchmarkBackendCreate ns/op against the
-# newest committed BENCH_*.json in the repo root, and for each gated
-# benchmark
+# BenchmarkSplitCreate, BenchmarkBackendCreate and BenchmarkDomainCreate
+# ns/op against the newest committed BENCH_*.json in the repo root, and
+# for each gated benchmark
 #
 #   - fails (exit 1) on a regression worse than 2x,
 #   - warns on any regression above 15%,
@@ -55,7 +55,7 @@ extract() {
 }
 
 status=0
-for bench in BenchmarkSimulatedCreate BenchmarkCachedGetattr BenchmarkSplitCreate BenchmarkBackendCreate; do
+for bench in BenchmarkSimulatedCreate BenchmarkCachedGetattr BenchmarkSplitCreate BenchmarkBackendCreate BenchmarkDomainCreate; do
 	base_ns=$(extract "$baseline" "$bench")
 	new_ns=$(extract "$fresh" "$bench")
 	if [ -z "$new_ns" ]; then
