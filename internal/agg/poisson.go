@@ -1,0 +1,41 @@
+package agg
+
+import (
+	"math"
+	"math/rand"
+)
+
+// poissonNormalCutover is the mean above which the sampler switches from
+// Knuth's exact product method (cost linear in the mean) to the rounded
+// normal approximation (constant cost, relative error < 1% of sigma at
+// this size).
+const poissonNormalCutover = 64
+
+// poisson draws one Poisson(mean) variate from rng. Small means use
+// Knuth's product method exactly; large means use the normal
+// approximation N(mean, mean) rounded and clamped at zero — at a mean of
+// 64+ the skew correction is below the batching noise the simulation can
+// observe. Both branches draw from rng only, so the sequence is a pure
+// function of the PRNG state.
+func poisson(rng *rand.Rand, mean float64) int64 {
+	if mean <= 0 {
+		return 0
+	}
+	if mean < poissonNormalCutover {
+		l := math.Exp(-mean)
+		var k int64
+		p := 1.0
+		for {
+			p *= rng.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	n := mean + math.Sqrt(mean)*rng.NormFloat64()
+	if n < 0.5 {
+		return 0
+	}
+	return int64(n + 0.5)
+}

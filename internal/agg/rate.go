@@ -1,0 +1,85 @@
+package agg
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Diurnal is a sinusoidal rate modulation: At(t) swings between
+// 1-Amplitude (trough) and 1+Amplitude (peak) over Period, starting at
+// Phase (radians) into the cycle. A zero value is flat (factor 1).
+type Diurnal struct {
+	Amplitude float64
+	Period    time.Duration
+	Phase     float64
+}
+
+// At returns the rate factor at virtual time t, floored at zero so an
+// amplitude above 1 models a service that goes fully idle off-peak.
+func (d Diurnal) At(t time.Duration) float64 {
+	if d.Amplitude == 0 || d.Period <= 0 {
+		return 1
+	}
+	f := 1 + d.Amplitude*math.Sin(2*math.Pi*float64(t)/float64(d.Period)+d.Phase)
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// Spikes is a flash-crowd process: spike onsets arrive with
+// exponentially distributed gaps of mean MeanInterval, each multiplying
+// the rate by 1+Peak at onset and decaying exponentially with time
+// constant Decay. A zero value produces no spikes.
+type Spikes struct {
+	MeanInterval time.Duration
+	Peak         float64
+	Decay        time.Duration
+}
+
+// spikeTrain is the seeded realization of a Spikes process. Every
+// Source advances its own identically-seeded copy, so the train is
+// shared by value, never by reference (the determinism contract).
+type spikeTrain struct {
+	cfg   Spikes
+	rng   *rand.Rand
+	start time.Duration // onset of the most recent spike
+	next  time.Duration // onset of the following spike
+	live  bool
+}
+
+func newSpikeTrain(cfg Spikes, seed int64) *spikeTrain {
+	s := &spikeTrain{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	if cfg.MeanInterval > 0 && cfg.Peak > 0 && cfg.Decay > 0 {
+		s.live = true
+		s.next = s.gap() // first onset: one exponential gap from t=0
+	}
+	return s
+}
+
+func (s *spikeTrain) gap() time.Duration {
+	g := time.Duration(s.rng.ExpFloat64() * float64(s.cfg.MeanInterval))
+	// Floor the gap at one decay constant so consecutive spikes stay
+	// distinguishable events rather than merging into a level shift.
+	if g < s.cfg.Decay {
+		g = s.cfg.Decay
+	}
+	return g
+}
+
+// at returns the rate factor at time t. Calls must not go backwards in
+// time (Sources tick monotonically).
+func (s *spikeTrain) at(t time.Duration) float64 {
+	if !s.live {
+		return 1
+	}
+	for t >= s.next {
+		s.start = s.next
+		s.next = s.start + s.gap()
+	}
+	if s.start == 0 && s.next > t {
+		return 1 // before the first onset
+	}
+	return 1 + s.cfg.Peak*math.Exp(-float64(t-s.start)/float64(s.cfg.Decay))
+}

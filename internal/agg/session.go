@@ -1,0 +1,68 @@
+package agg
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Churn is an open/close session process: sessions last SessionMean on
+// average (exponential departures), and arrivals run at the rate that
+// keeps ActiveFrac of the population active in steady state. A zero
+// value keeps every client active all the time.
+type Churn struct {
+	ActiveFrac  float64
+	SessionMean time.Duration
+	// Tick is the churn process's own batching step (defaults to the
+	// model tick via newPopulation's caller passing it through at).
+	Tick time.Duration
+}
+
+// population is the seeded realization of a Churn process over Clients
+// sessions: a birth-death chain advanced one tick at a time. Every
+// Source advances its own identically-seeded copy, so all shards see
+// the same active-client count without sharing state.
+type population struct {
+	clients int
+	target  float64 // steady-state active count
+	depart  float64 // per-tick departure probability of one session
+	rng     *rand.Rand
+	active  int64
+	next    int64
+	live    bool
+}
+
+func newPopulation(clients int, c Churn, seed int64) *population {
+	p := &population{clients: clients, active: int64(clients), rng: rand.New(rand.NewSource(seed))}
+	if c.SessionMean > 0 && c.ActiveFrac > 0 && c.ActiveFrac < 1 && c.Tick > 0 {
+		p.live = true
+		p.target = c.ActiveFrac * float64(clients)
+		p.depart = float64(c.Tick) / float64(c.SessionMean)
+		if p.depart > 1 {
+			p.depart = 1
+		}
+		p.active = int64(p.target + 0.5)
+	}
+	return p
+}
+
+// at returns the active session count for tick index i, advancing the
+// chain through any skipped indices so the count stays a pure function
+// of the index.
+func (p *population) at(i int64) int64 {
+	if !p.live {
+		return p.active
+	}
+	for p.next <= i {
+		joins := poisson(p.rng, p.target*p.depart)
+		leaves := poisson(p.rng, float64(p.active)*p.depart)
+		p.active += joins - leaves
+		if p.active < 0 {
+			p.active = 0
+		}
+		if p.active > int64(p.clients) {
+			p.active = int64(p.clients)
+		}
+		p.next++
+	}
+	return p.active
+}

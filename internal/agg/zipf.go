@@ -1,0 +1,51 @@
+package agg
+
+import "math"
+
+// ZipfPop is a Zipf-Mandelbrot object popularity law: object i (ranked
+// by popularity, 0 = hottest) receives mass proportional to 1/(V+i)^S
+// over N objects. S=0 degrades to uniform; larger S concentrates the
+// head. This is the same law core.ZipfDirFiles draws directories from,
+// applied analytically: instead of sampling objects we integrate the pmf
+// into per-shard routing weights once.
+type ZipfPop struct {
+	S float64
+	V float64
+	N int
+}
+
+// pmf returns the normalized probability mass of every object rank.
+func (z ZipfPop) pmf() []float64 {
+	n := z.N
+	if n < 1 {
+		n = 1
+	}
+	v := z.V
+	if v < 1 {
+		v = 1
+	}
+	w := make([]float64, n)
+	var sum float64
+	for i := range w {
+		w[i] = 1 / math.Pow(v+float64(i), z.S)
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}
+
+// ShardWeights folds the pmf through route: weights[s] is the fraction
+// of all arrivals whose object lives on shard s. The weights sum to one.
+func (z ZipfPop) ShardWeights(shards int, route func(obj int) int) []float64 {
+	weights := make([]float64, shards)
+	for i, p := range z.pmf() {
+		s := route(i)
+		if s < 0 || s >= shards {
+			s = 0
+		}
+		weights[s] += p
+	}
+	return weights
+}

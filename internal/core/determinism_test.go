@@ -7,12 +7,14 @@ import (
 	"testing"
 	"time"
 
+	"dmetabench/internal/agg"
 	"dmetabench/internal/cluster"
 	"dmetabench/internal/fault"
 	"dmetabench/internal/lustre"
 	"dmetabench/internal/nfs"
 	"dmetabench/internal/shard"
 	"dmetabench/internal/sim"
+	"dmetabench/internal/workload"
 )
 
 // runAndSave executes one canonical Runner experiment with the given seed
@@ -153,6 +155,46 @@ func runAndSave(t *testing.T, seed int64, mode string, domains, workers int) map
 				plan.Start(mp, fsys)
 			},
 		}
+	case "shard-agg":
+		// One million aggregate background clients injected as priced
+		// arrival batches (Zipf popularity, diurnal modulation, flash
+		// spikes, session churn) under a lease-coherent foreground
+		// workload: every stochastic draw is a pure function of (seed,
+		// source, tick), so the injected holds — and the queueing they
+		// impose on the foreground — must land at identical virtual
+		// times at any domain/worker split.
+		cfg := shard.DefaultConfig(4)
+		cfg.CacheMode = shard.CacheLease
+		cfg.Domains = domains
+		fsys := shard.New(k, "meta", cfg)
+		shardFS = fsys
+		lanes := cfg.ShardThreads
+		model := agg.Model{
+			Clients:      1_000_000,
+			OpsPerClient: 0.2,
+			Mix:          workload.DefaultMetaMix(),
+			Zipf:         agg.ZipfPop{S: 1.2, V: 1, N: 128},
+			Diurnal:      agg.Diurnal{Amplitude: 0.5, Period: 800 * time.Millisecond},
+			Spikes:       agg.Spikes{MeanInterval: 300 * time.Millisecond, Peak: 2, Decay: 50 * time.Millisecond},
+			Churn:        agg.Churn{ActiveFrac: 0.5, SessionMean: 500 * time.Millisecond, Tick: 10 * time.Millisecond},
+			Tick:         10 * time.Millisecond,
+			Seed:         seed,
+		}
+		sources := agg.NewSources(model, cfg.NumShards, lanes,
+			func(obj int) int { return obj % cfg.NumShards })
+		fsys.AttachAggregate(model.Tick, func(si, lane, tick int) shard.AggregateDemand {
+			d := sources[si*lanes+lane].Tick(int64(tick))
+			return shard.AggregateDemand{Getattr: d.Getattr, Lookup: d.Lookup,
+				Readdir: d.Readdir, Create: d.Create}
+		})
+		r = &Runner{
+			Cluster: cl,
+			FS:      fsys,
+			Params: Params{ProblemSize: 250, WorkDir: "/bench",
+				TimeLimit: 1200 * time.Millisecond, Interval: 100 * time.Millisecond},
+			SlotsPerNode: 2,
+			Plugins:      []Plugin{StatMutateFiles{Files: 32, MutateEvery: 4}, MakeFiles{}},
+		}
 	case "lustre-writeback":
 		cfg := lustre.DefaultConfig()
 		cfg.Writeback = true
@@ -218,6 +260,7 @@ func TestRunnerDeterministic(t *testing.T) {
 	for _, mode := range []string{
 		"nfs-timed", "lustre-writeback", "shard-hash", "shard-subtree",
 		"shard-failover", "shard-coherent", "shard-split", "shard-lsm",
+		"shard-agg",
 	} {
 		t.Run(mode, func(t *testing.T) {
 			diffSets(t,
@@ -251,7 +294,7 @@ func diffSets(t *testing.T, a, b map[string]string, what string) {
 // sharded MDS model and therefore support kernel domains.
 var shardModes = []string{
 	"shard-hash", "shard-subtree", "shard-failover",
-	"shard-coherent", "shard-split", "shard-lsm",
+	"shard-coherent", "shard-split", "shard-lsm", "shard-agg",
 }
 
 // TestRunnerDeterministicDomains is the parallel-DES determinism matrix:

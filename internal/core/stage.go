@@ -1,0 +1,305 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+
+	"dmetabench/internal/cluster"
+	"dmetabench/internal/results"
+	"dmetabench/internal/sim"
+)
+
+// Stage is one segment of a long-horizon run: a named probe workload
+// driven for a fixed duration of virtual time. Duration should be a
+// multiple of the runner's Interval; a remainder is truncated off the
+// sampling grid.
+type Stage struct {
+	Name     string
+	Duration time.Duration
+	// Op runs one foreground probe operation (i = per-probe op
+	// counter). Nil uses the runner's default stat probe over the
+	// files its default prepare created.
+	Op func(c *Ctx, i int) error
+}
+
+// StageRunner is the long-horizon measurement harness (the
+// fs-benchmark perftest shape: -clients N -interval 1m -period 3h): a
+// small set of fully-simulated, throttled foreground probe processes
+// runs stage after stage for hours of virtual time while the master
+// samples per-interval throughput, per-probe COV, an auxiliary counter
+// (the aggregate background load of internal/agg, injected into the FS
+// before Run), and per-interval latency percentiles into a
+// results.IntervalStat series — one Measurement per stage.
+//
+// It deliberately does not sweep (nodes × PPN) combinations like
+// Runner: at a horizon of hours the experiment design varies load over
+// *time*, not placement.
+type StageRunner struct {
+	Cluster *cluster.Cluster
+	FS      FileSystem
+	// Probes is the number of foreground processes (default 1),
+	// distributed round-robin over the cluster nodes.
+	Probes int
+	// Interval is the sampling grid (default one minute).
+	Interval time.Duration
+	// Think is each probe's pause after every completed op (default one
+	// second) — the throttle that keeps hours of virtual time cheap and
+	// the probes observers rather than the dominant load.
+	Think time.Duration
+	// Label names the result set.
+	Label  string
+	Stages []Stage
+	// Prepare, when set, replaces the default per-probe setup (mkdir +
+	// a ring of stat targets). It must not call Ctx.Tick.
+	Prepare func(c *Ctx) error
+	// Aux, when set, is sampled at every interval boundary; the
+	// per-interval delta lands in IntervalStat.Aux. The experiments
+	// pass a closure over the FS's injected-background counter.
+	Aux func() int64
+}
+
+// defaultProbeFiles is the size of the default probe's stat ring.
+const defaultProbeFiles = 8
+
+func defaultPrepare(c *Ctx) error {
+	if err := MkdirAll(c.FS, c.Dir); err != nil {
+		return err
+	}
+	for j := 0; j < defaultProbeFiles; j++ {
+		if err := c.FS.Create(fileName(c.Dir, j)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func defaultOp(c *Ctx, i int) error {
+	_, err := c.FS.Stat(fileName(c.Dir, i%defaultProbeFiles))
+	return err
+}
+
+// Run performs the staged run and drives the kernel to completion.
+func (r *StageRunner) Run() (*results.Set, error) {
+	k := r.Cluster.Kernel()
+	set, err := r.Start(k)
+	if err != nil {
+		return nil, err
+	}
+	if err := k.Run(); err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// stageShared is the master↔probe channel: the simulator runs one
+// process at a time per kernel, and master and probes all live in the
+// client domain, so plain fields need no locking (same discipline as
+// Runner's latency map).
+type stageShared struct {
+	recording bool
+	cur       *results.Histogram // current interval
+	agg       *results.Histogram // whole stage
+}
+
+func (s *stageShared) record(d time.Duration) {
+	if !s.recording {
+		return
+	}
+	s.cur.Add(d)
+	s.agg.Add(d)
+}
+
+// Start spawns the probes and master; the caller drives the kernel.
+func (r *StageRunner) Start(k *sim.Kernel) (*results.Set, error) {
+	if len(r.Stages) == 0 {
+		return nil, fmt.Errorf("stagerunner: no stages")
+	}
+	probes := r.Probes
+	if probes < 1 {
+		probes = 1
+	}
+	interval := r.Interval
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	think := r.Think
+	if think <= 0 {
+		think = time.Second
+	}
+	prepare := r.Prepare
+	if prepare == nil {
+		prepare = defaultPrepare
+	}
+
+	set := results.NewSet(r.Label, r.FS.Name(), interval)
+	set.Environment["filesystem"] = r.FS.Name()
+	set.Environment["probes"] = strconv.Itoa(probes)
+	set.Environment["think"] = think.String()
+	set.Environment["interval"] = interval.String()
+	var total time.Duration
+	for _, s := range r.Stages {
+		total += s.Duration
+	}
+	set.Environment["stages"] = strconv.Itoa(len(r.Stages))
+	set.Environment["period"] = total.String()
+
+	nodesUsed := probes
+	if n := len(r.Cluster.Nodes); nodesUsed > n {
+		nodesUsed = n
+	}
+	ppn := (probes + nodesUsed - 1) / nodesUsed
+
+	// Start/end barrier pair per stage; the master joins as one party.
+	barrier := sim.NewBarrier(k, "stage", probes+1)
+	ctxs := make([]*Ctx, probes)
+	errs := make([]string, probes)
+	shared := &stageShared{}
+
+	for rank := 0; rank < probes; rank++ {
+		rank := rank
+		node := r.Cluster.Nodes[rank%len(r.Cluster.Nodes)]
+		k.Spawn("probe-"+strconv.Itoa(rank), func(p *sim.Proc) {
+			ctx := &Ctx{
+				Rank:     rank,
+				Workers:  probes,
+				Node:     node.Name,
+				NodeRank: rank / len(r.Cluster.Nodes),
+				Dir:      "/probe/p" + strconv.Itoa(rank),
+				Params: Params{WorkDir: "/probe", Interval: interval,
+					Label: r.Label},
+			}
+			phaseStart := p.Now()
+			ctx.Now = func() time.Duration { return p.Now() - phaseStart }
+			ctx.FS = r.FS.NewClient(node, p)
+			ctxs[rank] = ctx
+			if err := prepare(ctx); err != nil {
+				errs[rank] = fmt.Sprintf("prepare: %v", err)
+			}
+			for _, stage := range r.Stages {
+				op := stage.Op
+				if op == nil {
+					op = defaultOp
+				}
+				barrier.Wait(p) // stage start
+				start := p.Now()
+				ctx.Now = func() time.Duration { return p.Now() - start }
+				end := start + stage.Duration
+				for i := 0; errs[rank] == "" && p.Now() < end; i++ {
+					t0 := p.Now()
+					if err := op(ctx, i); err != nil {
+						errs[rank] = fmt.Sprintf("%s: %v", stage.Name, err)
+						break
+					}
+					shared.record(p.Now() - t0)
+					ctx.Tick()
+					p.Sleep(think)
+				}
+				barrier.Wait(p) // stage end
+			}
+		})
+	}
+
+	k.Spawn("stage-master", func(mp *sim.Proc) {
+		base := make([]int64, probes)
+		prev := make([]int64, probes)
+		rates := make([]float64, probes)
+		for _, stage := range r.Stages {
+			nIv := int(stage.Duration / interval)
+			if nIv < 1 {
+				nIv = 1
+			}
+			series := make([]results.IntervalStat, 0, nIv)
+			traces := make([][]int64, probes)
+			for i := range traces {
+				traces[i] = make([]int64, 0, nIv)
+			}
+			shared.agg = &results.Histogram{}
+			shared.cur = &results.Histogram{}
+			shared.recording = true
+			var prevAux int64
+			if r.Aux != nil {
+				prevAux = r.Aux()
+			}
+			copy(prev, base)
+			barrier.Wait(mp) // stage start: probes run from here
+			for t := 0; t < nIv; t++ {
+				mp.Sleep(interval)
+				var ops int64
+				for i, ctx := range ctxs {
+					cum := ctx.Progress() - base[i]
+					traces[i] = append(traces[i], cum)
+					done := ctx.Progress() - prev[i]
+					prev[i] = ctx.Progress()
+					ops += done
+					rates[i] = float64(done) / interval.Seconds()
+				}
+				st := results.IntervalStat{
+					T:          time.Duration(t+1) * interval,
+					Ops:        ops,
+					Throughput: float64(ops) / interval.Seconds(),
+				}
+				_, st.COV = stddevCOV(rates)
+				if r.Aux != nil {
+					aux := r.Aux()
+					st.Aux = aux - prevAux
+					prevAux = aux
+				}
+				st.FillPercentiles(shared.cur)
+				series = append(series, st)
+				shared.cur = &results.Histogram{}
+			}
+			shared.recording = false
+			barrier.Wait(mp) // stage end: probes are now idle
+			m := &results.Measurement{
+				Op:       stage.Name,
+				Nodes:    nodesUsed,
+				PPN:      ppn,
+				Interval: interval,
+				Errors:   append([]string(nil), errs...),
+				Series:   series,
+				Latencies: map[string]*results.Histogram{
+					"probe": shared.agg,
+				},
+			}
+			for i := range ctxs {
+				final := ctxs[i].Progress() - base[i]
+				m.Traces = append(m.Traces, results.Trace{
+					Host:       ctxs[i].Node,
+					Op:         stage.Name,
+					Proc:       i,
+					Done:       traces[i],
+					Final:      final,
+					FinishedAt: time.Duration(nIv) * interval,
+				})
+				base[i] = ctxs[i].Progress()
+			}
+			set.Add(m)
+		}
+	})
+	return set, nil
+}
+
+// stddevCOV mirrors results.stddevCOV (package-private there) for the
+// master's per-interval probe-rate spread.
+func stddevCOV(xs []float64) (sd, cov float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	sd = math.Sqrt(ss / float64(len(xs)))
+	if mean > 0 {
+		cov = sd / mean
+	}
+	return sd, cov
+}

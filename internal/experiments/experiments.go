@@ -137,6 +137,9 @@ func All() []Experiment {
 		{"E28", E28BackendProfile, 12},
 		{"E29", E29CompactionTimeline, 3},
 		{"E30", E30GroupCommit, 9},
+		{"E31", E31AggregateDay, 2},
+		{"E32", E32ForegroundTail, 3},
+		{"E33", E33CapacityPressure, 3},
 	}
 }
 

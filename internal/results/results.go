@@ -41,6 +41,11 @@ type Measurement struct {
 	// histogram per client operation kind observed during the doBench
 	// phase, aggregated over all processes.
 	Latencies map[string]*Histogram
+	// Series, when set, is the long-horizon per-interval series of a
+	// stage measurement (series.go): throughput, COV and latency
+	// percentiles per interval. Nil for classic measurements, so their
+	// serialized form is unchanged.
+	Series []IntervalStat
 }
 
 // Procs returns the number of participating processes.

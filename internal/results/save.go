@@ -43,6 +43,20 @@ func (s *Set) Save(dir string) error {
 			return err
 		}
 		sf.Close()
+		// Interval series only exist for stage measurements; classic
+		// measurements write exactly the pre-series file set, so the
+		// committed corpus and the determinism byte-diffs are unchanged.
+		if len(m.Series) > 0 {
+			xf, err := os.Create(filepath.Join(dir, m.SeriesFileName()))
+			if err != nil {
+				return err
+			}
+			if err := m.WriteSeries(xf); err != nil {
+				xf.Close()
+				return err
+			}
+			xf.Close()
+		}
 		a := m.Averages()
 		fmt.Fprintf(perf, "%s\t%d\t%d\t%d\t%.1f\t%.1f\t%.3f\n",
 			m.Op, m.Nodes, m.PPN, m.Procs(), a.Stonewall, a.WallClock, a.Runtime.Seconds())

@@ -1,0 +1,116 @@
+package results
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"time"
+)
+
+// IntervalStat is one interval of a long-horizon stage measurement
+// (core.StageRunner): what the perftest-style harness reports per
+// minute over hours of virtual time. Ops/Throughput/COV describe the
+// foreground probe processes; Aux carries an auxiliary counter delta
+// sampled on the same grid (the experiments use it for background
+// operations injected by the aggregate arrival process); the
+// percentiles come from the interval's own latency histogram, so tail
+// behavior is visible per interval instead of averaged away.
+type IntervalStat struct {
+	T          time.Duration // end of the interval
+	Ops        int64         // foreground ops completed in the interval
+	Throughput float64       // foreground ops/s across the interval
+	COV        float64       // COV of per-probe rates in the interval
+	Aux        int64         // auxiliary counter delta (background ops)
+	P50        time.Duration
+	P99        time.Duration
+	P999       time.Duration
+}
+
+// FillPercentiles extracts the interval's latency percentiles from its
+// histogram; a nil or empty histogram leaves them zero (an interval in
+// which no foreground op completed).
+func (s *IntervalStat) FillPercentiles(h *Histogram) {
+	if h == nil || h.Count() == 0 {
+		return
+	}
+	s.P50 = h.Percentile(0.50)
+	s.P99 = h.Percentile(0.99)
+	s.P999 = h.Percentile(0.999)
+}
+
+// SeriesFileName returns the canonical interval-series file name. The
+// prefix is distinct from "results-" so Load's trace scan never
+// mistakes a series file for a trace file.
+func (m *Measurement) SeriesFileName() string {
+	return fmt.Sprintf("series-%s-%d-%d.tsv", m.Op, m.Nodes, m.Procs())
+}
+
+// WriteSeries emits the interval series as TSV, one row per interval.
+// Latencies are reported in microseconds (the histogram's native
+// resolution).
+func (m *Measurement) WriteSeries(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "Operation\tT\tOps\tOpsPerSec\tCOV\tAuxOps\tP50us\tP99us\tP999us")
+	for _, s := range m.Series {
+		fmt.Fprintf(bw, "%s\t%.1f\t%d\t%.1f\t%.3f\t%d\t%d\t%d\t%d\n",
+			m.Op, s.T.Seconds(), s.Ops, s.Throughput, s.COV, s.Aux,
+			s.P50.Microseconds(), s.P99.Microseconds(), s.P999.Microseconds())
+	}
+	return bw.Flush()
+}
+
+// SeriesWindow aggregates the series between from and to (half-open on
+// the left, like windowThroughput over summaries): mean foreground and
+// aux throughput, the peak and trough of the aux rate, and the worst
+// P99 seen. ok is false when the window holds no intervals.
+type SeriesWindow struct {
+	MeanThroughput float64
+	MeanAuxRate    float64
+	PeakAuxRate    float64
+	TroughAuxRate  float64
+	MaxP99         time.Duration
+}
+
+// Window computes the series aggregate over (from, to].
+func (m *Measurement) Window(from, to time.Duration) (SeriesWindow, bool) {
+	var w SeriesWindow
+	secs := m.Interval.Seconds()
+	n := 0
+	for _, s := range m.Series {
+		if s.T <= from || s.T > to {
+			continue
+		}
+		aux := float64(s.Aux) / secs
+		w.MeanThroughput += s.Throughput
+		w.MeanAuxRate += aux
+		if n == 0 || aux > w.PeakAuxRate {
+			w.PeakAuxRate = aux
+		}
+		if n == 0 || aux < w.TroughAuxRate {
+			w.TroughAuxRate = aux
+		}
+		if s.P99 > w.MaxP99 {
+			w.MaxP99 = s.P99
+		}
+		n++
+	}
+	if n == 0 {
+		return SeriesWindow{}, false
+	}
+	w.MeanThroughput /= float64(n)
+	w.MeanAuxRate /= float64(n)
+	return w, true
+}
+
+// AuxCOV is the temporal coefficient of variation of the per-interval
+// aux rate over the whole series — the "how bursty was the background
+// over the day" number E31 reports.
+func (m *Measurement) AuxCOV() float64 {
+	rates := make([]float64, 0, len(m.Series))
+	secs := m.Interval.Seconds()
+	for _, s := range m.Series {
+		rates = append(rates, float64(s.Aux)/secs)
+	}
+	_, cov := stddevCOV(rates)
+	return cov
+}

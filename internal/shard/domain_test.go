@@ -6,9 +6,11 @@ import (
 	"testing"
 	"time"
 
+	"dmetabench/internal/agg"
 	"dmetabench/internal/cluster"
 	"dmetabench/internal/fs"
 	"dmetabench/internal/sim"
+	"dmetabench/internal/workload"
 )
 
 // domainFingerprint summarizes one finished run: end time, the FS-wide
@@ -21,6 +23,8 @@ func domainFingerprint(k *sim.Kernel, f *FS, paths []string) string {
 		k.Now(), f.RPCCount(), f.CrossCount, f.BroadcastCount, f.MirrorCount,
 		len(f.Takeovers), f.SplitMoved, f.Bounces, f.Revocations)
 	fmt.Fprintf(&b, "ops=%v\n", f.ShardOps())
+	aggOps, aggShed, aggBusy := f.AggCounts()
+	fmt.Fprintf(&b, "agg=%d shed=%d busy=%v\n", aggOps, aggShed, aggBusy)
 	for _, p := range paths {
 		st := "absent"
 		if _, err := f.Namespace(f.ShardOfEntry(p)).Stat(p); err == nil {
@@ -47,11 +51,20 @@ func domainWorkloadPaths(clients, files int) []string {
 // processes, optionally with a crash/takeover/failback in the middle,
 // and returns the run's fingerprint.
 func runDomainWorkload(t *testing.T, cfg Config, workers int, faults bool) string {
+	return runDomainWorkloadHook(t, cfg, workers, faults, nil)
+}
+
+// runDomainWorkloadHook additionally calls attach on the built FS before
+// any process runs — the seam the aggregate-injection case uses.
+func runDomainWorkloadHook(t *testing.T, cfg Config, workers int, faults bool, attach func(*FS)) string {
 	t.Helper()
 	const clients, files = 4, 40
 	k := sim.New(7)
 	cl := cluster.New(k, cluster.DefaultConfig(clients))
 	f := New(k, "dom", cfg)
+	if attach != nil {
+		attach(f)
+	}
 	if cfg.Domains > 1 {
 		g := f.Group()
 		if g == nil {
@@ -135,6 +148,51 @@ func TestDomainedDeterministic(t *testing.T) {
 				t.Errorf("fingerprints differ between 1 and 8 workers:\n--- workers=1\n%s\n--- workers=8\n%s", one, many)
 			}
 		})
+	}
+}
+
+// attachMillionClients wires an aggregate arrival process for one
+// million analytically-modeled background clients (Zipf popularity,
+// diurnal + spike rate modulation, session churn) into every shard of f.
+func attachMillionClients(f *FS, shards int) {
+	lanes := f.cfg.ShardThreads
+	model := agg.Model{
+		Clients:      1_000_000,
+		OpsPerClient: 0.2,
+		Mix:          workload.DefaultMetaMix(),
+		Zipf:         agg.ZipfPop{S: 1.2, V: 1, N: 64},
+		Diurnal:      agg.Diurnal{Amplitude: 0.5, Period: 400 * time.Millisecond},
+		Spikes:       agg.Spikes{MeanInterval: 100 * time.Millisecond, Peak: 2, Decay: 20 * time.Millisecond},
+		Churn:        agg.Churn{ActiveFrac: 0.5, SessionMean: 200 * time.Millisecond, Tick: 5 * time.Millisecond},
+		Tick:         5 * time.Millisecond,
+		Seed:         7,
+	}
+	sources := agg.NewSources(model, shards, lanes,
+		func(obj int) int { return obj % shards })
+	f.AttachAggregate(model.Tick, func(si, lane, tick int) AggregateDemand {
+		d := sources[si*lanes+lane].Tick(int64(tick))
+		return AggregateDemand{Getattr: d.Getattr, Lookup: d.Lookup,
+			Readdir: d.Readdir, Create: d.Create}
+	})
+}
+
+// TestDomainedAggregateDeterministic pins the aggregate-load leg of the
+// fingerprint matrix: one million background clients injecting into a
+// lease-coherent 4-shard MDS partitioned into 5 domains must produce
+// byte-identical fingerprints — including the injected/shed counters —
+// on one worker thread and on a full pool.
+func TestDomainedAggregateDeterministic(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.Domains = 5
+	cfg.CacheMode = CacheLease
+	attach := func(f *FS) { attachMillionClients(f, cfg.NumShards) }
+	one := runDomainWorkloadHook(t, cfg, 1, false, attach)
+	many := runDomainWorkloadHook(t, cfg, 8, false, attach)
+	if one != many {
+		t.Errorf("aggregate fingerprints differ between 1 and 8 workers:\n--- workers=1\n%s\n--- workers=8\n%s", one, many)
+	}
+	if !strings.Contains(one, "agg=") || strings.Contains(one, "agg=0 ") {
+		t.Errorf("aggregate injection recorded no operations:\n%s", one)
 	}
 }
 

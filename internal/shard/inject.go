@@ -1,0 +1,201 @@
+package shard
+
+// Aggregate-arrival injection (E31–E33): analytically-modeled
+// background load (internal/agg) enters the sharded MDS as batched
+// virtual-time demand instead of per-client processes. Per shard,
+// ShardThreads injector lanes run as daemons on the shard's own kernel
+// domain; each tick every lane draws its slice of the shard's arrival
+// batch, prices it with the same base service times real RPCs pay
+// (scaled by the WAFL consistency-point factor), then occupies one
+// server of the shard's client-facing thread pool for that long. The
+// foreground clients riding on top queue FIFO behind the injected
+// holds, so they observe genuine contention — queueing delay, diurnal
+// swell, flash-crowd saturation — from a load that costs no per-client
+// state.
+//
+// Overload is open-loop: a lane that cannot finish a tick's hold before
+// later ticks begin shedding the ticks it slept through (AggShedOps).
+// The pool therefore saturates at 100% utilization instead of building
+// an unbounded virtual queue, which is the admission-control behavior a
+// real front end would enforce.
+//
+// Determinism: lanes touch only their own shard's pool and the atomic
+// FS counters, and each (shard, lane) draws from a private source
+// stream in strict tick order, so runs are byte-identical at any
+// Domains/worker count (domain_test.go's aggregate case pins this).
+
+import (
+	"strconv"
+	"time"
+
+	"dmetabench/internal/sim"
+)
+
+// AggregateDemand is one tick's background arrivals for one injector
+// lane, by operation class. The classes map onto the priced service
+// kinds of the cost model (Config.GetattrService etc.).
+type AggregateDemand struct {
+	Getattr int64
+	Lookup  int64
+	Readdir int64
+	Create  int64
+}
+
+// Total sums the classes.
+func (d AggregateDemand) Total() int64 { return d.Getattr + d.Lookup + d.Readdir + d.Create }
+
+// AttachAggregate starts the background injector: ShardThreads daemon
+// lanes per shard, each calling src(shard, lane, tick) once per tick in
+// strictly increasing tick order and occupying one server of the
+// shard's pool for the priced duration. Call before the kernel runs;
+// the lanes are daemons, so they never keep a finished simulation
+// alive. src runs on the shard's kernel domain: with Domains > 1 it is
+// called concurrently for shards in different domains, so per-(shard,
+// lane) source state must not be shared across shards (internal/agg's
+// replicated-stream design).
+func (f *FS) AttachAggregate(tick time.Duration, src func(shard, lane, tick int) AggregateDemand) {
+	if tick <= 0 {
+		tick = time.Second
+	}
+	lanes := f.cfg.ShardThreads
+	if lanes < 1 {
+		lanes = 1
+	}
+	for i := range f.shards {
+		sh := f.shards[i]
+		k := f.kFor(i)
+		for l := 0; l < lanes; l++ {
+			lane := l
+			name := "agginject:" + strconv.Itoa(i) + ":" + strconv.Itoa(lane)
+			k.SpawnDaemon(name, func(p *sim.Proc) {
+				f.aggLane(p, sh, lane, tick, src)
+			})
+		}
+	}
+}
+
+// aggLane is one injector lane's loop. All per-iteration state lives in
+// locals and the hold path is Acquire/Sleep/Release on a preallocated
+// resource, so the steady state allocates nothing
+// (BenchmarkAggregateInject's alloc guard pins this).
+func (f *FS) aggLane(p *sim.Proc, sh *shardSrv, lane int, tick time.Duration, src func(shard, lane, tick int) AggregateDemand) {
+	next := 0 // next tick index this lane owes
+	for {
+		i := int(p.Now() / tick)
+		if i < next {
+			// Our tick's work is done; park until the next boundary.
+			p.Sleep(time.Duration(next)*tick - p.Now())
+			i = next
+		}
+		// Ticks the lane slept through entirely are shed: draw them to
+		// keep the source stream index-pure, count them, do not hold.
+		for next < i {
+			d := src(sh.index, lane, next)
+			if n := d.Total(); n > 0 {
+				addI64(&f.AggShedOps, n)
+			}
+			next++
+		}
+		d := src(sh.index, lane, i)
+		next = i + 1
+		n := d.Total()
+		if n == 0 {
+			continue
+		}
+		cost := f.priceAggregate(sh, d)
+		addI64(&f.AggOps, n)
+		addI64(&f.AggBusy, int64(cost))
+		if cost > 0 {
+			sh.srv.Threads.Acquire(p)
+			p.Sleep(cost)
+			sh.srv.Threads.Release()
+		}
+	}
+}
+
+// AggCounts returns the injected / shed operation counts and the
+// cumulative injected service time. Unlike reading the FS fields
+// directly, it is safe mid-run from any domain (the stage master
+// samples it every interval while lanes in other domains advance).
+func (f *FS) AggCounts() (ops, shed int64, busy time.Duration) {
+	return loadI64(&f.AggOps), loadI64(&f.AggShedOps),
+		time.Duration(loadI64(&f.AggBusy))
+}
+
+// priceAggregate converts one demand batch into service time: the base
+// per-class costs of the config, scaled by the shard's current WAFL
+// service factor (sampled once per batch) so background load slows
+// through consistency points exactly as foreground RPCs do. Per-entry
+// directory-index and backend factors are deliberately not applied —
+// the analytic stream has no concrete directories — which prices the
+// background conservatively.
+func (f *FS) priceAggregate(sh *shardSrv, d AggregateDemand) time.Duration {
+	base := time.Duration(d.Getattr)*f.cfg.GetattrService +
+		time.Duration(d.Lookup)*f.cfg.LookupService +
+		time.Duration(d.Readdir)*f.cfg.ReaddirService +
+		time.Duration(d.Create)*f.cfg.CreateService
+	if base <= 0 {
+		return 0
+	}
+	return time.Duration(float64(base) * sh.wafl.ServiceFactor())
+}
+
+// CapacityStats is a point-in-time census of the state that grows with
+// scale: server-side lease tables and journals, split bookkeeping, and
+// the per-node client caches. E33 reads it after a run to estimate
+// memory pressure; call it only when the simulation is quiescent (after
+// Run), because it walks state owned by every domain.
+type CapacityStats struct {
+	// LeaseEntries counts read-lease grants across every slice's table;
+	// Delegations the directory write delegations outstanding.
+	LeaseEntries int
+	Delegations  int
+	// SplitDirs counts directories with split bookkeeping server-side.
+	SplitDirs int
+	// JournalEntries sums the dirty journal entries across shards.
+	JournalEntries int
+	// Nodes counts client nodes with cache state; the Client* fields
+	// sum those nodes' attribute/dentry/lease/split-bitmap entries.
+	Nodes           int
+	ClientAttrs     int
+	ClientDentries  int
+	ClientLeases    int
+	ClientSplitDirs int
+}
+
+// Entries sums every counted entry, server- and client-side.
+func (c CapacityStats) Entries() int {
+	return c.LeaseEntries + c.Delegations + c.SplitDirs + c.JournalEntries +
+		c.ClientAttrs + c.ClientDentries + c.ClientLeases + c.ClientSplitDirs
+}
+
+// CapacityStats reports the current capacity census.
+func (f *FS) CapacityStats() CapacityStats {
+	var st CapacityStats
+	for _, sl := range f.leases {
+		for _, grants := range sl.read {
+			st.LeaseEntries += len(grants)
+		}
+		st.Delegations += len(sl.deleg)
+	}
+	st.SplitDirs = len(f.splitDirs)
+	for _, sh := range f.shards {
+		st.JournalEntries += len(sh.journal)
+	}
+	st.Nodes = len(f.nodes)
+	for _, ns := range f.nodes {
+		if ns.attrs != nil {
+			st.ClientAttrs += ns.attrs.Len()
+		}
+		if ns.dentries != nil {
+			st.ClientDentries += ns.dentries.Len()
+		}
+		if ns.leases != nil {
+			st.ClientLeases += ns.leases.Len()
+		}
+		if ns.splits != nil {
+			st.ClientSplitDirs += ns.splits.Len()
+		}
+	}
+	return st
+}

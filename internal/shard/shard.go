@@ -441,6 +441,13 @@ type FS struct {
 	// MirrorCount counts batched replication round trips, not mirrored
 	// mutations — the collapse E30 measures.
 	GroupCommits, GroupCommitOps int64
+
+	// Aggregate-arrival counters (inject.go, E31–E33). AggOps counts
+	// background operations injected and served, AggShedOps those shed
+	// because the thread pool could not absorb their tick before the
+	// next one (open-loop overload admission control), and AggBusy the
+	// cumulative service time the injected load occupied (ns).
+	AggOps, AggShedOps, AggBusy int64
 }
 
 type connKey struct {

@@ -1,0 +1,35 @@
+package workload
+
+// OpMix is a metadata operation mix: the fraction of an arrival stream
+// that is each operation class. The classes match the priced service
+// kinds of the sharded MDS (getattr/lookup point reads, readdir scans,
+// create-class mutations); fractions need not sum to one — Normalized
+// rescales them — so mixes can be written as easy ratios.
+type OpMix struct {
+	Getattr float64
+	Lookup  float64
+	Readdir float64
+	Create  float64
+}
+
+// Normalized returns the mix rescaled to sum to one. A zero mix
+// normalizes to all-getattr (the cheapest class) rather than NaN.
+func (m OpMix) Normalized() OpMix {
+	sum := m.Getattr + m.Lookup + m.Readdir + m.Create
+	if sum <= 0 {
+		return OpMix{Getattr: 1}
+	}
+	return OpMix{
+		Getattr: m.Getattr / sum,
+		Lookup:  m.Lookup / sum,
+		Readdir: m.Readdir / sum,
+		Create:  m.Create / sum,
+	}
+}
+
+// DefaultMetaMix is the stat-heavy mix metadata studies report for
+// interactive traffic (§2.8: attribute reads dominate, directory scans
+// and creates trail far behind).
+func DefaultMetaMix() OpMix {
+	return OpMix{Getattr: 0.58, Lookup: 0.27, Readdir: 0.09, Create: 0.06}
+}

@@ -12,8 +12,9 @@
 #
 # The snapshot records ns/op, B/op and allocs/op for the simulator
 # substrate benchmarks plus the fault-injection (E19–E21), cache-
-# coherence (E22–E24), directory-splitting (E25–E27) and storage-
-# backend (E28–E30) experiments, and the toolchain and commit that
+# coherence (E22–E24), directory-splitting (E25–E27), storage-backend
+# (E28–E30) and long-horizon aggregate-scale (E31–E33, at a reduced
+# -period) experiments, and the toolchain and commit that
 # produced it, so future PRs have a perf trajectory to compare against
 # (see DESIGN.md, "Performance-regression workflow"). The experiment
 # entries record the real-time cost of full experiment runs plus their
@@ -31,12 +32,16 @@ cd "$(dirname "$0")/.."
 outdir="."
 count=1
 suite=1
-substrate='BenchmarkSimulatedCreate$|BenchmarkShardedCreate$|BenchmarkDomainCreate$|BenchmarkCachedGetattr$|BenchmarkSplitCreate$|BenchmarkBackendCreate$|BenchmarkNamespaceCreate$|BenchmarkRunnerMeasurement$'
+substrate='BenchmarkSimulatedCreate$|BenchmarkShardedCreate$|BenchmarkDomainCreate$|BenchmarkCachedGetattr$|BenchmarkSplitCreate$|BenchmarkBackendCreate$|BenchmarkAggregateInject$|BenchmarkNamespaceCreate$|BenchmarkRunnerMeasurement$'
 failover='BenchmarkE19Failover$|BenchmarkE20ReplicationOverhead$|BenchmarkE21RecoveryScaling$'
 coherence='BenchmarkE22LeaseTTL$|BenchmarkE23CacheModes$|BenchmarkE24FailoverCachedLoad$'
 split='BenchmarkE25SplitScaling$|BenchmarkE26SplitStorm$|BenchmarkE27SplitRouting$'
 backend='BenchmarkE28BackendProfile$|BenchmarkE29CompactionTimeline$|BenchmarkE30GroupCommit$'
-pattern="$substrate|$failover|$coherence|$split|$backend"
+# The long-horizon experiments (interval-series harness) run at a
+# reduced -period inside their benchmarks; their row metrics carry
+# spaces and slashes, which the unit-label column scan below tolerates.
+scale='BenchmarkE31AggregateDay$|BenchmarkE32ForegroundTail$|BenchmarkE33CapacityPressure$'
+pattern="$substrate|$failover|$coherence|$split|$backend|$scale"
 while [ $# -gt 0 ]; do
 	case "$1" in
 	-count)

@@ -3,13 +3,16 @@
 #
 # Runs the substrate benchmarks into a fresh snapshot (bench-out/ by
 # default), compares BenchmarkSimulatedCreate, BenchmarkCachedGetattr,
-# BenchmarkSplitCreate, BenchmarkBackendCreate and BenchmarkDomainCreate
-# ns/op against the newest committed BENCH_*.json in the repo root, and
-# for each gated benchmark
+# BenchmarkSplitCreate, BenchmarkBackendCreate, BenchmarkDomainCreate
+# and BenchmarkAggregateInject ns/op against the newest committed
+# BENCH_*.json in the repo root, and for each gated benchmark
 #
 #   - fails (exit 1) on a regression worse than 2x,
 #   - warns on any regression above 15%,
 #   - passes otherwise.
+#
+# BenchmarkAggregateInject additionally carries an absolute guard: its
+# steady state must report 0 allocs/op.
 #
 # A gated benchmark missing from the committed baseline is skipped with
 # a notice (the first snapshot that includes it becomes its baseline).
@@ -45,19 +48,21 @@ rm -f "$outdir/.experiments-gate"
 echo "bench_gate: suite wall-clock ${suite_s}s (-j $workers)" | tee "$outdir/suite_timing.txt"
 
 extract() {
-	# Pull ns_per_op of one benchmark out of a snapshot; every snapshot
-	# format keeps one benchmark per line.
-	awk -v bench="\"$2\"" 'index($0, bench) {
-		if (match($0, /"ns_per_op": *[0-9.]+/)) {
+	# Pull one numeric field ($3, e.g. ns_per_op) of one benchmark out of
+	# a snapshot; every snapshot format keeps one benchmark per line. The
+	# quoted-key-plus-colon match is exact: a benchmark whose name is a
+	# prefix of another's never matches the longer entry.
+	awk -v bench="\"$2\":" -v field="\"$3\"" 'index($0, bench) {
+		if (match($0, field ": *[0-9.]+")) {
 			v = substr($0, RSTART, RLENGTH); sub(/.*: */, "", v); print v; exit
 		}
 	}' "$1"
 }
 
 status=0
-for bench in BenchmarkSimulatedCreate BenchmarkCachedGetattr BenchmarkSplitCreate BenchmarkBackendCreate BenchmarkDomainCreate; do
-	base_ns=$(extract "$baseline" "$bench")
-	new_ns=$(extract "$fresh" "$bench")
+for bench in BenchmarkSimulatedCreate BenchmarkCachedGetattr BenchmarkSplitCreate BenchmarkBackendCreate BenchmarkDomainCreate BenchmarkAggregateInject; do
+	base_ns=$(extract "$baseline" "$bench" ns_per_op)
+	new_ns=$(extract "$fresh" "$bench" ns_per_op)
 	if [ -z "$new_ns" ]; then
 		echo "bench_gate: $bench missing from $fresh" >&2
 		status=1
@@ -81,4 +86,19 @@ for bench in BenchmarkSimulatedCreate BenchmarkCachedGetattr BenchmarkSplitCreat
 		exit 0
 	}' || status=1
 done
+
+# Allocation guard: the aggregate-injection steady state must stay
+# allocation-free (its per-op cost is the whole point of the model).
+# This is an absolute bound, not a baseline comparison, so it holds
+# from the first snapshot on.
+inject_allocs=$(extract "$fresh" BenchmarkAggregateInject allocs_per_op)
+if [ -z "$inject_allocs" ]; then
+	echo "bench_gate: BenchmarkAggregateInject allocs/op missing from $fresh" >&2
+	status=1
+elif awk -v a="$inject_allocs" 'BEGIN { exit !(a > 0) }'; then
+	echo "bench_gate: FAIL — BenchmarkAggregateInject allocates ($inject_allocs allocs/op, want 0)" >&2
+	status=1
+else
+	echo "bench_gate: BenchmarkAggregateInject allocs/op 0 — ok"
+fi
 exit $status
