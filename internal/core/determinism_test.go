@@ -12,6 +12,7 @@ import (
 	"dmetabench/internal/fault"
 	"dmetabench/internal/lustre"
 	"dmetabench/internal/nfs"
+	"dmetabench/internal/service"
 	"dmetabench/internal/shard"
 	"dmetabench/internal/sim"
 	"dmetabench/internal/workload"
@@ -27,7 +28,7 @@ func runAndSave(t *testing.T, seed int64, mode string, domains, workers int) map
 	k := sim.New(seed)
 	cl := cluster.New(k, cluster.DefaultConfig(2))
 	var r *Runner
-	var shardFS *shard.FS
+	var grouped interface{ Group() *sim.DomainGroup }
 	switch mode {
 	case "shard-hash", "shard-subtree":
 		cfg := shard.DefaultConfig(4)
@@ -35,10 +36,11 @@ func runAndSave(t *testing.T, seed int64, mode string, domains, workers int) map
 		if mode == "shard-subtree" {
 			cfg.Placement = shard.PlaceSubtree
 		}
-		shardFS = shard.New(k, "meta", cfg)
+		fsys := shard.New(k, "meta", cfg)
+		grouped = fsys
 		r = &Runner{
 			Cluster:      cl,
-			FS:           shardFS,
+			FS:           fsys,
 			Params:       Params{ProblemSize: 200, WorkDir: "/bench"},
 			SlotsPerNode: 2,
 			// ZipfDirFiles exercises broadcasts and skewed routing;
@@ -58,7 +60,7 @@ func runAndSave(t *testing.T, seed int64, mode string, domains, workers int) map
 		cfg.TakeoverDetect = 100 * time.Millisecond
 		cfg.Domains = domains
 		fsys := shard.New(k, "meta", cfg)
-		shardFS = fsys
+		grouped = fsys
 		plan := (&fault.Plan{}).Outage(200*time.Millisecond, 700*time.Millisecond, 1)
 		r = &Runner{
 			Cluster: cl,
@@ -85,7 +87,7 @@ func runAndSave(t *testing.T, seed int64, mode string, domains, workers int) map
 		cfg.TakeoverDetect = 100 * time.Millisecond
 		cfg.Domains = domains
 		fsys := shard.New(k, "meta", cfg)
-		shardFS = fsys
+		grouped = fsys
 		plan := (&fault.Plan{}).Outage(300*time.Millisecond, 900*time.Millisecond, 1)
 		r = &Runner{
 			Cluster: cl,
@@ -115,7 +117,7 @@ func runAndSave(t *testing.T, seed int64, mode string, domains, workers int) map
 		cfg.TakeoverDetect = 100 * time.Millisecond
 		cfg.Domains = domains
 		fsys := shard.New(k, "meta", cfg)
-		shardFS = fsys
+		grouped = fsys
 		plan := (&fault.Plan{}).Outage(150*time.Millisecond, 800*time.Millisecond, 1)
 		r = &Runner{
 			Cluster: cl,
@@ -142,7 +144,7 @@ func runAndSave(t *testing.T, seed int64, mode string, domains, workers int) map
 		cfg.TakeoverDetect = 100 * time.Millisecond
 		cfg.Domains = domains
 		fsys := shard.New(k, "meta", cfg)
-		shardFS = fsys
+		grouped = fsys
 		plan := (&fault.Plan{}).Outage(200*time.Millisecond, 700*time.Millisecond, 1)
 		r = &Runner{
 			Cluster: cl,
@@ -167,7 +169,7 @@ func runAndSave(t *testing.T, seed int64, mode string, domains, workers int) map
 		cfg.CacheMode = shard.CacheLease
 		cfg.Domains = domains
 		fsys := shard.New(k, "meta", cfg)
-		shardFS = fsys
+		grouped = fsys
 		lanes := cfg.ShardThreads
 		model := agg.Model{
 			Clients:      1_000_000,
@@ -195,6 +197,66 @@ func runAndSave(t *testing.T, seed int64, mode string, domains, workers int) map
 			SlotsPerNode: 2,
 			Plugins:      []Plugin{StatMutateFiles{Files: 32, MutateEvery: 4}, MakeFiles{}},
 		}
+	case "nfs-domains":
+		// The single filer in its own kernel domain through the shared
+		// service runtime: every RPC is a timestamped cross-domain
+		// message, cache fills ride the reply legs, and mkdir/rename
+		// paths capture attributes in-body. Must be byte-identical at
+		// any worker count, and with Domains<=1 must match the legacy
+		// synchronous model exactly.
+		cfg := nfs.DefaultConfig()
+		cfg.Domains = domains
+		fsys := nfs.New(k, "home", cfg)
+		grouped = fsys
+		r = &Runner{
+			Cluster: cl,
+			FS:      fsys,
+			Params: Params{ProblemSize: 250, WorkDir: "/bench",
+				TimeLimit: time.Second, Interval: 100 * time.Millisecond},
+			SlotsPerNode: 2,
+			Plugins: []Plugin{
+				ZipfDirFiles{Projects: 4, SubdirsPerProject: 3, Skew: 1.2, MkdirEvery: 20},
+				MakeFiles{}, RenameFiles{}, StatFiles{},
+			},
+			CollectLatencies: true,
+		}
+	case "lustre-agg":
+		// Domained Lustre write-back client under a million-client
+		// aggregate background on the MDS: injector lanes run as daemons
+		// on the MDS's domain while flush daemons, writeback windows and
+		// OSS legs cross domains; the queueing the background imposes on
+		// the foreground must land at identical virtual times at any
+		// domain/worker split.
+		cfg := lustre.DefaultConfig()
+		cfg.Writeback = true
+		cfg.Domains = domains
+		fsys := lustre.New(k, "scratch", cfg)
+		grouped = fsys
+		lanes := cfg.MDSThreads
+		model := agg.Model{
+			Clients:      1_000_000,
+			OpsPerClient: 0.05,
+			Mix:          workload.DefaultMetaMix(),
+			Zipf:         agg.ZipfPop{S: 1.2, V: 1, N: 128},
+			Diurnal:      agg.Diurnal{Amplitude: 0.5, Period: 800 * time.Millisecond},
+			Churn:        agg.Churn{ActiveFrac: 0.5, SessionMean: 500 * time.Millisecond, Tick: 10 * time.Millisecond},
+			Tick:         10 * time.Millisecond,
+			Seed:         seed,
+		}
+		sources := agg.NewSources(model, 1, lanes, func(int) int { return 0 })
+		fsys.AttachAggregate(model.Tick, func(_, lane, tick int) service.Demand {
+			d := sources[lane].Tick(int64(tick))
+			return service.Demand{Getattr: d.Getattr, Lookup: d.Lookup,
+				Readdir: d.Readdir, Create: d.Create}
+		})
+		r = &Runner{
+			Cluster: cl,
+			FS:      fsys,
+			Params: Params{ProblemSize: 300, WorkDir: "/bench",
+				TimeLimit: 1200 * time.Millisecond, Interval: 100 * time.Millisecond},
+			SlotsPerNode: 2,
+			Plugins:      []Plugin{MakeFiles{}, StatFiles{}},
+		}
 	case "lustre-writeback":
 		cfg := lustre.DefaultConfig()
 		cfg.Writeback = true
@@ -216,8 +278,8 @@ func runAndSave(t *testing.T, seed int64, mode string, domains, workers int) map
 			CollectLatencies: true,
 		}
 	}
-	if shardFS != nil && shardFS.Group() != nil && workers > 0 {
-		shardFS.Group().Workers = workers
+	if grouped != nil && grouped.Group() != nil && workers > 0 {
+		grouped.Group().Workers = workers
 	}
 	set, err := r.Run()
 	if err != nil {
@@ -260,7 +322,7 @@ func TestRunnerDeterministic(t *testing.T) {
 	for _, mode := range []string{
 		"nfs-timed", "lustre-writeback", "shard-hash", "shard-subtree",
 		"shard-failover", "shard-coherent", "shard-split", "shard-lsm",
-		"shard-agg",
+		"shard-agg", "nfs-domains", "lustre-agg",
 	} {
 		t.Run(mode, func(t *testing.T) {
 			diffSets(t,
@@ -291,11 +353,16 @@ func diffSets(t *testing.T, a, b map[string]string, what string) {
 }
 
 // shardModes are the TestRunnerDeterministic modes that run on the
-// sharded MDS model and therefore support kernel domains.
+// sharded MDS model; domainModes additionally cover the NFS and Lustre
+// models wired through the shared service runtime — every mode that
+// supports kernel domains.
 var shardModes = []string{
 	"shard-hash", "shard-subtree", "shard-failover",
 	"shard-coherent", "shard-split", "shard-lsm", "shard-agg",
 }
+
+var domainModes = append(append([]string{}, shardModes...),
+	"nfs-domains", "lustre-agg")
 
 // TestRunnerDeterministicDomains is the parallel-DES determinism matrix:
 // every shard mode of TestRunnerDeterministic is run partitioned into 5
@@ -304,7 +371,7 @@ var shardModes = []string{
 // revocations, splits and LSM compactions must all land at identical
 // virtual times no matter how the domains are scheduled onto OS threads.
 func TestRunnerDeterministicDomains(t *testing.T) {
-	for _, mode := range shardModes {
+	for _, mode := range domainModes {
 		t.Run(mode, func(t *testing.T) {
 			diffSets(t,
 				runAndSave(t, 77, mode, 5, 1),
@@ -318,7 +385,7 @@ func TestRunnerDeterministicDomains(t *testing.T) {
 // Domains<=1 must be byte-identical to the single-heap kernel, so the
 // committed experiment corpus stays reproducible with the feature off.
 func TestRunnerDomainsDisabledIsLegacy(t *testing.T) {
-	for _, mode := range shardModes {
+	for _, mode := range domainModes {
 		t.Run(mode, func(t *testing.T) {
 			diffSets(t,
 				runAndSave(t, 77, mode, 0, 0),

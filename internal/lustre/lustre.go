@@ -16,6 +16,7 @@ import (
 	"dmetabench/internal/cluster"
 	"dmetabench/internal/fs"
 	"dmetabench/internal/namespace"
+	"dmetabench/internal/service"
 	"dmetabench/internal/sim"
 	"dmetabench/internal/simnet"
 	"dmetabench/internal/storage"
@@ -54,6 +55,14 @@ type Config struct {
 	// JournalCommit is the MDS journal group-commit interval.
 	JournalCommit time.Duration
 	ClientNice    int
+	// Domains > 1 partitions the cell into kernel domains via the shared
+	// service runtime (internal/service): domain 0 runs the clients (and
+	// the write-back flushers), and the MDS — namespace, journal,
+	// directory locks, prealloc pools — plus the OSS fan out round-robin
+	// over domains 1..D-1. RPCs and refills become timestamped
+	// cross-domain messages. With Domains <= 1 the model runs its exact
+	// legacy single-kernel code path, byte for byte.
+	Domains int
 }
 
 // DefaultConfig approximates the LRZ Lustre 1.6 system: one MDS, twelve
@@ -87,6 +96,11 @@ type FS struct {
 	k   *sim.Kernel
 	cfg Config
 
+	// rt is the shared service runtime (domain placement): server 0 is
+	// the MDS, servers 1..NumOSS the object servers. With Domains > 1
+	// all MDS-side state below lives on rt.KernelFor(0).
+	rt *service.Runtime
+
 	mds     *simnet.Server
 	oss     []*simnet.Server
 	ossConn []*simnet.Conn // MDS-side connections for prealloc refills
@@ -103,6 +117,12 @@ type FS struct {
 	// RefillCount counts synchronous OSS refill RPCs (test observability).
 	RefillCount int
 	rpcs        int64
+
+	// aggOps/aggShed/aggBusy count background demand injected through
+	// AttachAggregate (operations, shed operations, busy nanoseconds).
+	aggOps  int64
+	aggShed int64
+	aggBusy int64
 }
 
 // wbState is per-node client state: caches plus the write-back log.
@@ -119,12 +139,15 @@ type wbState struct {
 
 // New creates a Lustre file system on kernel k.
 func New(k *sim.Kernel, name string, cfg Config) *FS {
-	disk := storage.NewDisk(k, "mdt:"+name, 4, 4*time.Millisecond, 80<<20)
+	rt := service.New(k, 1+cfg.NumOSS, cfg.Domains, cfg.OneWayLatency)
+	mk := rt.KernelFor(0) // the MDS and everything it owns
+	disk := storage.NewDisk(mk, "mdt:"+name, 4, 4*time.Millisecond, 80<<20)
 	f := &FS{
 		k:        k,
 		cfg:      cfg,
-		mds:      simnet.NewServer(k, "mds:"+name, cfg.MDSThreads),
-		journal:  storage.NewJournal(k, "mds:"+name, disk, cfg.JournalCommit),
+		rt:       rt,
+		mds:      simnet.NewServer(mk, "mds:"+name, cfg.MDSThreads),
+		journal:  storage.NewJournal(mk, "mds:"+name, disk, cfg.JournalCommit),
 		ns:       namespace.New(),
 		conns:    make(map[*cluster.Node]*simnet.Conn),
 		dirLocks: make(map[fs.Ino]*sim.Mutex),
@@ -132,11 +155,63 @@ func New(k *sim.Kernel, name string, cfg Config) *FS {
 		pool:     make([]int, cfg.NumOSS),
 	}
 	for i := 0; i < cfg.NumOSS; i++ {
-		srv := simnet.NewServer(k, fmt.Sprintf("oss%d:%s", i, name), 2)
+		ok := rt.KernelFor(1 + i)
+		srv := simnet.NewServer(ok, fmt.Sprintf("oss%d:%s", i, name), 2)
 		f.oss = append(f.oss, srv)
-		f.ossConn = append(f.ossConn, simnet.NewConn(k, srv, cfg.OneWayLatency, 0))
+		// Refill connections originate at the MDS, so their wire state
+		// (unused here: bandwidth 0) belongs to the MDS kernel.
+		f.ossConn = append(f.ossConn, simnet.NewConn(mk, srv, cfg.OneWayLatency, 0))
 	}
 	return f
+}
+
+// Group exposes the FS's domain group (nil when Domains <= 1); tests
+// pin worker-count invariance through it.
+func (f *FS) Group() *sim.DomainGroup { return f.rt.Group() }
+
+// domained reports whether the MDS runs in its own kernel domain.
+func (f *FS) domained() bool { return f.rt.Domained() }
+
+// AttachAggregate starts the background injector (internal/service):
+// MDSThreads daemon lanes on the MDS kernel domain, each drawing
+// src(0, lane, tick) in strict tick order and occupying one MDS thread
+// for the priced duration — analytically modeled client populations
+// (internal/agg) loading the single MDS without per-client state. Call
+// before the kernel runs.
+func (f *FS) AttachAggregate(tick time.Duration, src func(server, lane, tick int) service.Demand) {
+	service.AttachAggregate(service.AggregateConfig{
+		Servers: 1,
+		Lanes:   f.cfg.MDSThreads,
+		Tick:    tick,
+		Kernel:  func(int) *sim.Kernel { return f.mds.Kernel() },
+		Pool:    func(int) *sim.Resource { return f.mds.Threads },
+		Source:  src,
+		Price:   func(_ int, d service.Demand) time.Duration { return f.priceAggregate(d) },
+		Ops:     &f.aggOps,
+		Shed:    &f.aggShed,
+		Busy:    &f.aggBusy,
+	})
+}
+
+// AggCounts returns injected / shed operation counts and cumulative
+// injected service time; safe mid-run from any domain.
+func (f *FS) AggCounts() (ops, shed int64, busy time.Duration) {
+	return service.LoadI64(&f.aggOps), service.LoadI64(&f.aggShed),
+		time.Duration(service.LoadI64(&f.aggBusy))
+}
+
+// priceAggregate prices one demand batch at the MDS's base per-class
+// RPC costs (the model has no Lustre LOOKUP class; lookups price as
+// GETATTRs). Directory-index and journal factors are not applied — the
+// analytic stream has no concrete directories — which prices the
+// background conservatively.
+func (f *FS) priceAggregate(d service.Demand) time.Duration {
+	return service.PriceTable{
+		Getattr: f.cfg.GetattrService,
+		Lookup:  f.cfg.GetattrService,
+		Readdir: f.cfg.ReaddirService,
+		Create:  f.cfg.CreateService,
+	}.Price(d)
 }
 
 // Name identifies the model.
@@ -186,7 +261,9 @@ func (f *FS) nodeState(n *cluster.Node) *wbState {
 func (f *FS) dirLock(ino fs.Ino) *sim.Mutex {
 	m, ok := f.dirLocks[ino]
 	if !ok {
-		m = sim.NewMutex(f.k, "mdsdir:"+strconv.FormatUint(uint64(ino), 10))
+		// MDS-side lock: it lives (and is only ever locked) on the MDS
+		// kernel domain.
+		m = sim.NewMutex(f.mds.Kernel(), "mdsdir:"+strconv.FormatUint(uint64(ino), 10))
 		f.dirLocks[ino] = m
 	}
 	return m
@@ -199,9 +276,17 @@ func (f *FS) allocObject(sp *sim.Proc) {
 	f.nextOSS = (f.nextOSS + 1) % len(f.pool)
 	if f.pool[idx] == 0 {
 		f.RefillCount++
-		f.ossConn[idx].Call(sp, 200, 200, func(op *sim.Proc) {
-			op.Sleep(f.cfg.OSSRefillService)
-		})
+		// The refill runs from an MDS-domain proc; the OSS may live in
+		// another domain, so the synchronous RPC goes through CallDom.
+		if f.domained() {
+			f.ossConn[idx].CallDom(sp, 200, 200, func(op *sim.Proc) {
+				op.Sleep(f.cfg.OSSRefillService)
+			})
+		} else {
+			f.ossConn[idx].Call(sp, 200, 200, func(op *sim.Proc) {
+				op.Sleep(f.cfg.OSSRefillService)
+			})
+		}
 		f.pool[idx] = f.cfg.PreallocBatch
 	}
 	f.pool[idx]--
@@ -246,14 +331,21 @@ func (f *FS) lockParent(p string) *sim.Mutex {
 // flushLoop drains the write-back log of one node to the MDS.
 func (f *FS) flushLoop(p *sim.Proc, n *cluster.Node, s *wbState) {
 	conn := f.conn(n)
+	dom := f.domained()
 	for {
 		item := s.queue.Get(p).(string)
-		conn.Call(p, 200, 160, func(sp *sim.Proc) {
-			// Errors at replay (e.g. a conflicting create from another
-			// node) are dropped; the benchmark namespace is partitioned
-			// per process so conflicts cannot occur in our workloads.
-			_ = f.mdsCreate(sp, item)
-		})
+		// Errors at replay (e.g. a conflicting create from another
+		// node) are dropped; the benchmark namespace is partitioned
+		// per process so conflicts cannot occur in our workloads.
+		if dom {
+			conn.CallDom(p, 200, 160, func(sp *sim.Proc) {
+				_ = f.mdsCreate(sp, item)
+			})
+		} else {
+			conn.Call(p, 200, 160, func(sp *sim.Proc) {
+				_ = f.mdsCreate(sp, item)
+			})
+		}
 		delete(s.pending, item)
 		s.window.Release(1)
 		s.flushed.Broadcast()
@@ -295,7 +387,9 @@ func (c *client) Create(p string) error {
 		if _, dup := st.pending[p]; dup {
 			return fs.NewError("create", p, fs.EEXIST)
 		}
-		if _, err := c.fsys.ns.Stat(p); err == nil {
+		if exists, err := c.pathExists(p); err != nil {
+			return err
+		} else if exists {
 			return fs.NewError("create", p, fs.EEXIST)
 		}
 		st.window.Acquire(c.p, 1) // blocks when the window is exhausted
@@ -310,6 +404,29 @@ func (c *client) Create(p string) error {
 	imutex := c.node.DirLock(fs.ParentDir(p))
 	imutex.Lock(c.p)
 	defer imutex.Unlock()
+	// Separate literals per branch: CallDom's service parameter escapes
+	// (the cross-domain path stores it in a message), so a shared
+	// literal — and everything it captures — would heap-allocate on
+	// every undomained create too. The legacy literal only ever flows
+	// into Call and stays on the stack.
+	if c.fsys.domained() {
+		// Cross-domain the reply carries the fresh attributes: the
+		// namespace may not be read from the client's domain, so the
+		// cache fill is captured here and applied via Defer.
+		var err error
+		c.cn().CallDom(c.p, 220, 180, func(sp *sim.Proc) {
+			err = c.fsys.mdsCreate(sp, p)
+			if err == nil {
+				if a, serr := c.fsys.ns.Stat(p); serr == nil {
+					simnet.Defer(sp, func() {
+						st.attrs.Put(p, a)
+						st.dentries.PutPositive(p, a.Ino)
+					})
+				}
+			}
+		})
+		return err
+	}
 	var err error
 	c.cn().Call(c.p, 220, 180, func(sp *sim.Proc) {
 		err = c.fsys.mdsCreate(sp, p)
@@ -321,6 +438,44 @@ func (c *client) Create(p string) error {
 	st.attrs.Put(p, a)
 	st.dentries.PutPositive(p, a.Ino)
 	return nil
+}
+
+// pathExists answers the write-back create's existence check. Legacy
+// (single-kernel) it is a free namespace read. Under domains the MDS
+// namespace may not be read from the client: pending entries and the
+// client caches answer locally (a write-back client holds the directory
+// under lease, §4.8), and an unknown path pays a real GETATTR intent to
+// the MDS.
+func (c *client) pathExists(p string) (bool, error) {
+	if !c.fsys.domained() {
+		_, err := c.fsys.ns.Stat(p)
+		return err == nil, nil
+	}
+	st := c.st()
+	if _, ok := st.attrs.Get(p); ok {
+		return true, nil
+	}
+	if _, neg, ok := st.dentries.Lookup(p); ok {
+		return !neg, nil
+	}
+	cfg := c.cfg()
+	exists := false
+	c.cn().CallDom(c.p, 150, 170, func(sp *sim.Proc) {
+		sp.Sleep(cfg.GetattrService)
+		c.fsys.rpcs++
+		a, err := c.fsys.ns.Stat(p)
+		ok := err == nil
+		exists = ok
+		simnet.Defer(sp, func() {
+			if ok {
+				st.attrs.Put(p, a)
+				st.dentries.PutPositive(p, a.Ino)
+			} else {
+				st.dentries.PutNegative(p)
+			}
+		})
+	})
+	return exists, nil
 }
 
 // waitNotPending blocks until p has been flushed to the MDS (write-back
@@ -345,15 +500,14 @@ func (c *client) Open(p string) (fs.Handle, error) {
 		c.handles[c.nextFH] = &openFile{path: p}
 		return c.nextFH, nil
 	}
-	var a fs.Attr
-	var ok bool
-	if a, ok = st.attrs.Get(p); !ok {
+	a, ok := st.attrs.Get(p)
+	if !ok {
 		var err error
-		c.cn().Call(c.p, 150, 170, func(sp *sim.Proc) {
-			sp.Sleep(cfg.GetattrService)
-			c.fsys.rpcs++
-			a, err = c.fsys.ns.Stat(p)
-		})
+		if c.fsys.domained() {
+			a, err = c.statRPCDom(p, cfg)
+		} else {
+			a, err = c.statRPC(p, cfg)
+		}
 		if err != nil {
 			return 0, err
 		}
@@ -362,6 +516,35 @@ func (c *client) Open(p string) (fs.Handle, error) {
 	c.nextFH++
 	c.handles[c.nextFH] = &openFile{path: p, size: a.Size}
 	return c.nextFH, nil
+}
+
+// statRPC issues one GETATTR RPC on the single-kernel path. Its twin
+// statRPCDom carries a separate closure literal on purpose: CallDom's
+// service parameter escapes (the cross-domain path stores it in a
+// message), so one shared literal — and the Config and result slots it
+// captures — would heap-allocate on every undomained GETATTR too.
+func (c *client) statRPC(p string, cfg Config) (fs.Attr, error) {
+	var a fs.Attr
+	var err error
+	c.cn().Call(c.p, 150, 170, func(sp *sim.Proc) {
+		sp.Sleep(cfg.GetattrService)
+		c.fsys.rpcs++
+		a, err = c.fsys.ns.Stat(p)
+	})
+	return a, err
+}
+
+// statRPCDom is statRPC against the domained MDS: the body only copies
+// the attr out through the rendezvous, never touching client state.
+func (c *client) statRPCDom(p string, cfg Config) (fs.Attr, error) {
+	var a fs.Attr
+	var err error
+	c.cn().CallDom(c.p, 150, 170, func(sp *sim.Proc) {
+		sp.Sleep(cfg.GetattrService)
+		c.fsys.rpcs++
+		a, err = c.fsys.ns.Stat(p)
+	})
+	return a, err
 }
 
 // Close flushes buffered writes to the objects (data goes to the OSS, not
@@ -412,13 +595,32 @@ func (c *client) flushData(of *openFile) {
 		idx = int(of.written) % n
 	}
 	conn := simnet.NewConn(c.fsys.k, c.fsys.oss[idx], cfg.OneWayLatency, 0)
-	conn.Call(c.p, 150+of.written, 150, func(sp *sim.Proc) {
-		sp.Sleep(time.Duration(float64(50*time.Microsecond) * (1 + float64(of.written)/65536)))
-	})
+	if c.fsys.domained() {
+		conn.CallDom(c.p, 150+of.written, 150, func(sp *sim.Proc) {
+			sp.Sleep(time.Duration(float64(50*time.Microsecond) * (1 + float64(of.written)/65536)))
+		})
+	} else {
+		conn.Call(c.p, 150+of.written, 150, func(sp *sim.Proc) {
+			sp.Sleep(time.Duration(float64(50*time.Microsecond) * (1 + float64(of.written)/65536)))
+		})
+	}
 	st := c.st()
+	written := of.written
 	if a, ok := st.pending[of.path]; ok {
-		a.Size += of.written
+		a.Size += written
 		st.pending[of.path] = a
+	} else if c.fsys.domained() {
+		// The MDS namespace may not be touched from the client's domain:
+		// the size update travels as a fire-and-forget size-on-close
+		// message to the MDS (the asynchronous MDS_SIZE update a Lustre
+		// client issues), and the local attribute refresh rides on the
+		// open handle's own bookkeeping instead of a namespace read.
+		path := of.path
+		c.cn().OneWay(c.p, 120, func(sp *sim.Proc) {
+			if node, err := c.fsys.ns.Lookup(path); err == nil {
+				c.fsys.ns.SetSize(node.Ino, node.Size+written, sp.Now())
+			}
+		})
 	} else if node, err := c.fsys.ns.Lookup(of.path); err == nil {
 		c.fsys.ns.SetSize(node.Ino, node.Size+of.written, c.p.Now())
 		// The writing client holds the object lock and knows the new
@@ -524,8 +726,29 @@ func (c *client) modifyRPC(p string, svc time.Duration, apply func(sp *sim.Proc)
 	imutex := c.node.DirLock(fs.ParentDir(p))
 	imutex.Lock(c.p)
 	defer imutex.Unlock()
+	// The domained twin lives in its own method so its escaping CallDom
+	// closure never heap-boxes the Config on undomained mutations.
+	if c.fsys.domained() {
+		return c.modifyRPCDom(p, svc, cfg, apply)
+	}
 	var err error
 	c.cn().Call(c.p, 200, 160, func(sp *sim.Proc) {
+		lock := c.fsys.lockParent(p)
+		if lock != nil {
+			lock.Lock(sp)
+			defer lock.Unlock()
+		}
+		t := float64(svc) * cfg.DirIndex.EntryCost(c.fsys.parentEntries(p))
+		sp.Sleep(time.Duration(t))
+		c.fsys.rpcs++
+		err = apply(sp)
+	})
+	return err
+}
+
+func (c *client) modifyRPCDom(p string, svc time.Duration, cfg Config, apply func(sp *sim.Proc) error) error {
+	var err error
+	c.cn().CallDom(c.p, 200, 160, func(sp *sim.Proc) {
 		lock := c.fsys.lockParent(p)
 		if lock != nil {
 			lock.Lock(sp)
@@ -553,11 +776,11 @@ func (c *client) Stat(p string) (fs.Attr, error) {
 	}
 	var a fs.Attr
 	var err error
-	c.cn().Call(c.p, 150, 170, func(sp *sim.Proc) {
-		sp.Sleep(cfg.GetattrService)
-		c.fsys.rpcs++
-		a, err = c.fsys.ns.Stat(p)
-	})
+	if c.fsys.domained() {
+		a, err = c.statRPCDom(p, cfg)
+	} else {
+		a, err = c.statRPC(p, cfg)
+	}
 	if err != nil {
 		return fs.Attr{}, err
 	}
@@ -570,9 +793,33 @@ func (c *client) Stat(p string) (fs.Attr, error) {
 func (c *client) ReadDir(p string) ([]fs.DirEntry, error) {
 	cfg := c.cfg()
 	c.node.Syscall(c.p)
+	if c.fsys.domained() {
+		return c.readDirDom(p, cfg)
+	}
 	var ents []fs.DirEntry
 	var err error
 	c.cn().Call(c.p, 150, 300, func(sp *sim.Proc) {
+		ents, err = c.fsys.ns.ReadDir(p, sp.Now())
+		pages := 1
+		if err == nil {
+			pages = (len(ents) + 1023) / 1024
+			if pages < 1 {
+				pages = 1
+			}
+		}
+		sp.Sleep(time.Duration(pages)*cfg.ReaddirService +
+			time.Duration(len(ents))*cfg.ReaddirPerEntry)
+		c.fsys.rpcs++
+	})
+	return ents, err
+}
+
+// readDirDom is ReadDir against the domained MDS: the entry slice is
+// built server-side and copied out through the rendezvous.
+func (c *client) readDirDom(p string, cfg Config) ([]fs.DirEntry, error) {
+	var ents []fs.DirEntry
+	var err error
+	c.cn().CallDom(c.p, 150, 300, func(sp *sim.Proc) {
 		ents, err = c.fsys.ns.ReadDir(p, sp.Now())
 		pages := 1
 		if err == nil {

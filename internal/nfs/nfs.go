@@ -14,6 +14,7 @@ import (
 	"dmetabench/internal/cluster"
 	"dmetabench/internal/fs"
 	"dmetabench/internal/namespace"
+	"dmetabench/internal/service"
 	"dmetabench/internal/sim"
 	"dmetabench/internal/simnet"
 	"dmetabench/internal/storage"
@@ -55,6 +56,13 @@ type Config struct {
 	MetaLogBytes int64
 	// ClientNice is the niceness benchmark processes run at (see §4.4).
 	ClientNice int
+	// Domains > 1 partitions the cell into kernel domains via the shared
+	// service runtime (internal/service): domain 0 runs the clients,
+	// domain 1 the filer — its thread pool, WAFL, namespace and
+	// directory locks — and every RPC becomes a timestamped
+	// cross-domain message. With Domains <= 1 the model runs its exact
+	// legacy single-kernel code path, byte for byte.
+	Domains int
 }
 
 // DefaultConfig returns the FAS3050-like parameter set.
@@ -87,6 +95,10 @@ type FS struct {
 	k   *sim.Kernel
 	cfg Config
 
+	// rt is the shared service runtime (domain placement); with
+	// Domains > 1 the filer's state below lives on rt.KernelFor(0).
+	rt *service.Runtime
+
 	srv   *simnet.Server
 	wafl  *storage.WAFL
 	ns    *namespace.Namespace
@@ -99,6 +111,12 @@ type FS struct {
 	nodes map[*cluster.Node]*nodeState
 
 	rpcs int64
+
+	// aggOps/aggShed/aggBusy count background demand injected through
+	// AttachAggregate (operations, shed operations, busy nanoseconds).
+	aggOps  int64
+	aggShed int64
+	aggBusy int64
 }
 
 type nodeState struct {
@@ -108,11 +126,14 @@ type nodeState struct {
 
 // New creates an NFS file system on kernel k.
 func New(k *sim.Kernel, name string, cfg Config) *FS {
+	rt := service.New(k, 1, cfg.Domains, cfg.OneWayLatency)
+	sk := rt.KernelFor(0)
 	f := &FS{
 		k:        k,
 		cfg:      cfg,
-		srv:      simnet.NewServer(k, "nfs:"+name, cfg.ServerThreads),
-		wafl:     storage.NewWAFL(k, name, cfg.WAFL),
+		rt:       rt,
+		srv:      simnet.NewServer(sk, "nfs:"+name, cfg.ServerThreads),
+		wafl:     storage.NewWAFL(sk, name, cfg.WAFL),
 		ns:       namespace.New(),
 		conns:    make(map[*cluster.Node]*simnet.Conn),
 		dirLocks: make(map[fs.Ino]*sim.Mutex),
@@ -120,6 +141,13 @@ func New(k *sim.Kernel, name string, cfg Config) *FS {
 	}
 	return f
 }
+
+// Group exposes the FS's domain group (nil when Domains <= 1); tests
+// pin worker-count invariance through it.
+func (f *FS) Group() *sim.DomainGroup { return f.rt.Group() }
+
+// domained reports whether the filer runs in its own kernel domain.
+func (f *FS) domained() bool { return f.rt.Domained() }
 
 // Name identifies the model in results and charts.
 func (f *FS) Name() string { return "nfs" }
@@ -158,10 +186,58 @@ func (f *FS) nodeState(n *cluster.Node) *nodeState {
 func (f *FS) dirLock(ino fs.Ino) *sim.Mutex {
 	m, ok := f.dirLocks[ino]
 	if !ok {
-		m = sim.NewMutex(f.k, "nfsdir:"+strconv.FormatUint(uint64(ino), 10))
+		// Server-side lock: it lives (and is only ever locked) on the
+		// filer's kernel domain.
+		m = sim.NewMutex(f.srv.Kernel(), "nfsdir:"+strconv.FormatUint(uint64(ino), 10))
 		f.dirLocks[ino] = m
 	}
 	return m
+}
+
+// AttachAggregate starts the background injector (internal/service):
+// ServerThreads daemon lanes on the filer's kernel domain, each drawing
+// src(0, lane, tick) in strict tick order and occupying one server
+// thread for the priced duration — analytically modeled client
+// populations (internal/agg) saturating the single filer without
+// per-client state (E35). Call before the kernel runs.
+func (f *FS) AttachAggregate(tick time.Duration, src func(server, lane, tick int) service.Demand) {
+	service.AttachAggregate(service.AggregateConfig{
+		Servers: 1,
+		Lanes:   f.cfg.ServerThreads,
+		Tick:    tick,
+		Kernel:  func(int) *sim.Kernel { return f.srv.Kernel() },
+		Pool:    func(int) *sim.Resource { return f.srv.Threads },
+		Source:  src,
+		Price:   func(_ int, d service.Demand) time.Duration { return f.priceAggregate(d) },
+		Ops:     &f.aggOps,
+		Shed:    &f.aggShed,
+		Busy:    &f.aggBusy,
+	})
+}
+
+// AggCounts returns injected / shed operation counts and cumulative
+// injected service time; safe mid-run from any domain.
+func (f *FS) AggCounts() (ops, shed int64, busy time.Duration) {
+	return service.LoadI64(&f.aggOps), service.LoadI64(&f.aggShed),
+		time.Duration(service.LoadI64(&f.aggBusy))
+}
+
+// priceAggregate converts one demand batch into service time: the base
+// per-class RPC costs scaled by the filer's current consistency-point
+// factor, exactly as foreground RPCs are priced. Directory-index
+// factors are not applied — the analytic stream has no concrete
+// directories — which prices the background conservatively.
+func (f *FS) priceAggregate(d service.Demand) time.Duration {
+	base := service.PriceTable{
+		Getattr: f.cfg.GetattrService,
+		Lookup:  f.cfg.LookupService,
+		Readdir: f.cfg.ReaddirService,
+		Create:  f.cfg.CreateService,
+	}.Price(d)
+	if base <= 0 {
+		return 0
+	}
+	return time.Duration(float64(base) * f.wafl.ServiceFactor())
 }
 
 // service charges t (scaled by directory-size and CP factors) while
@@ -230,6 +306,15 @@ func (c *client) cn() *simnet.Conn { return c.fsys.conn(c.node) }
 // costs one round trip per level.
 func (c *client) resolveParents(p string) error {
 	cfg := c.cfg()
+	// The domained walk lives in its own method on purpose: CallDom's
+	// service parameter escapes (the cross-domain path stores it in a
+	// message), so everything its closure captures — including the large
+	// Config, which is captured by reference — would be heap-boxed at
+	// entry of *this* function even on undomained runs. The legacy
+	// literal below only ever flows into Call and stays on the stack.
+	if c.fsys.domained() {
+		return c.resolveParentsDom(p, cfg)
+	}
 	st := c.st()
 	for i := 1; i < len(p); i++ {
 		if p[i] != '/' {
@@ -261,6 +346,43 @@ func (c *client) resolveParents(p string) error {
 	return nil
 }
 
+// resolveParentsDom is resolveParents against the domained filer: cache
+// fills are client state, so cross-domain they ride the reply (Defer)
+// back to the client's domain.
+func (c *client) resolveParentsDom(p string, cfg Config) error {
+	st := c.st()
+	for i := 1; i < len(p); i++ {
+		if p[i] != '/' {
+			continue
+		}
+		prefix := p[:i]
+		if _, neg, ok := st.dentries.Lookup(prefix); ok {
+			if neg {
+				return fs.NewError("lookup", prefix, fs.ENOENT)
+			}
+			continue
+		}
+		var err error
+		c.cn().CallDom(c.p, 120, 140, func(sp *sim.Proc) {
+			c.fsys.service(sp, cfg.LookupService, -1)
+			var a fs.Attr
+			a, err = c.fsys.ns.Stat(prefix)
+			simnet.Defer(sp, func() {
+				if err == nil {
+					st.dentries.PutPositive(prefix, a.Ino)
+					st.attrs.Put(prefix, a)
+				} else {
+					st.dentries.PutNegative(prefix)
+				}
+			})
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Create performs open(O_CREAT|O_EXCL)+close: one synchronous CREATE RPC
 // under the client-side parent i_mutex and the server-side directory
 // lock.
@@ -269,6 +391,9 @@ func (c *client) Create(p string) error {
 	c.node.SyscallNice(c.p, cfg.ClientNice)
 	if err := c.resolveParents(p); err != nil {
 		return err
+	}
+	if c.fsys.domained() {
+		return c.createDom(p, cfg)
 	}
 	parent := fs.ParentDir(p)
 	imutex := c.node.DirLock(parent)
@@ -304,6 +429,41 @@ func (c *client) Create(p string) error {
 	return nil
 }
 
+// createDom is Create against the domained filer. Cross-domain the
+// reply carries the fresh attributes: the namespace may not be read
+// from the client's domain, so the cache fill is captured in the
+// service body and applied via Defer. Split from Create so the escaping
+// CallDom closure never heap-boxes state shared with the legacy path.
+func (c *client) createDom(p string, cfg Config) error {
+	imutex := c.node.DirLock(fs.ParentDir(p))
+	imutex.Lock(c.p)
+	defer imutex.Unlock()
+
+	var err error
+	c.cn().CallDom(c.p, 160, 160, func(sp *sim.Proc) {
+		lock := c.fsys.lockParent(p)
+		if lock != nil {
+			lock.Lock(sp)
+			defer lock.Unlock()
+		}
+		entries := c.fsys.parentEntries(p)
+		c.fsys.service(sp, cfg.CreateService, entries)
+		_, err = c.fsys.ns.Create(p, 0o644, sp.Now())
+		if err == nil {
+			c.fsys.wafl.LogMetadata(sp, cfg.MetaLogBytes)
+		}
+		if err == nil || fs.IsExist(err) {
+			if a, serr := c.fsys.ns.Stat(p); serr == nil {
+				simnet.Defer(sp, func() {
+					c.st().attrs.Put(p, a)
+					c.st().dentries.PutPositive(p, a.Ino)
+				})
+			}
+		}
+	})
+	return err
+}
+
 // Open resolves the path (dentry cache, else LOOKUP RPC) and returns a
 // handle. Close-to-open: a fresh GETATTR piggybacks on the lookup.
 func (c *client) Open(p string) (fs.Handle, error) {
@@ -311,6 +471,9 @@ func (c *client) Open(p string) (fs.Handle, error) {
 	c.node.SyscallNice(c.p, cfg.ClientNice)
 	if err := c.resolveParents(p); err != nil {
 		return 0, err
+	}
+	if c.fsys.domained() {
+		return c.openDom(p, cfg)
 	}
 	st := c.st()
 	ino, neg, ok := st.dentries.Lookup(p)
@@ -342,6 +505,70 @@ func (c *client) Open(p string) (fs.Handle, error) {
 	c.nextFH++
 	h := c.nextFH
 	c.handles[h] = &openFile{path: p, ino: ino, size: node.Size}
+	return h, nil
+}
+
+// openDom is Open against the domained filer. The namespace lives in
+// the filer's domain, so the legacy free read of node.Size is off
+// limits: the size rides the LOOKUP reply, comes from a fresh attribute
+// cache entry (the close-to-open GETATTR that populated it still
+// applies), or costs a real GETATTR revalidation — the round trip an
+// actual NFS client issues at open time. Split from Open so its
+// escaping CallDom closures never tax the undomained path.
+func (c *client) openDom(p string, cfg Config) (fs.Handle, error) {
+	st := c.st()
+	ino, neg, ok := st.dentries.Lookup(p)
+	var size int64
+	sized := false
+	if !ok {
+		var err error
+		c.cn().CallDom(c.p, 120, 140, func(sp *sim.Proc) {
+			c.fsys.service(sp, cfg.LookupService, c.fsys.parentEntries(p))
+			var a fs.Attr
+			a, err = c.fsys.ns.Stat(p)
+			if err == nil {
+				ino, size, sized = a.Ino, a.Size, true
+				simnet.Defer(sp, func() {
+					st.attrs.Put(p, a)
+					st.dentries.PutPositive(p, a.Ino)
+				})
+			} else {
+				simnet.Defer(sp, func() { st.dentries.PutNegative(p) })
+			}
+		})
+		if err != nil {
+			return 0, err
+		}
+	} else if neg {
+		return 0, fs.NewError("open", p, fs.ENOENT)
+	}
+	if !sized {
+		if a, ok := st.attrs.Get(p); ok {
+			size, sized = a.Size, true
+		}
+	}
+	if !sized {
+		var err error
+		c.cn().CallDom(c.p, 120, 140, func(sp *sim.Proc) {
+			c.fsys.service(sp, cfg.GetattrService, -1)
+			var a fs.Attr
+			a, err = c.fsys.ns.Stat(p)
+			if err == nil {
+				ino, size, sized = a.Ino, a.Size, true
+				simnet.Defer(sp, func() {
+					st.attrs.Put(p, a)
+					st.dentries.PutPositive(p, a.Ino)
+				})
+			}
+		})
+		if err != nil {
+			st.dentries.Invalidate(p)
+			return 0, fs.NewError("open", p, fs.ESTALE)
+		}
+	}
+	c.nextFH++
+	h := c.nextFH
+	c.handles[h] = &openFile{path: p, ino: ino, size: size}
 	return h, nil
 }
 
@@ -388,6 +615,10 @@ func (c *client) Fsync(h fs.Handle) error {
 
 func (c *client) flush(of *openFile) {
 	cfg := c.cfg()
+	if c.fsys.domained() {
+		c.flushDom(of, cfg)
+		return
+	}
 	newSize := of.size + of.written
 	c.cn().Call(c.p, 120+of.written, 140, func(sp *sim.Proc) {
 		t := time.Duration(float64(cfg.WriteServicePerKB) * float64(of.written) / 1024)
@@ -407,8 +638,39 @@ func (c *client) flush(of *openFile) {
 	}
 }
 
+// flushDom is flush against the domained filer: the post-write
+// attribute refresh is captured server-side and Defer'd back.
+func (c *client) flushDom(of *openFile, cfg Config) {
+	newSize := of.size + of.written
+	c.cn().CallDom(c.p, 120+of.written, 140, func(sp *sim.Proc) {
+		t := time.Duration(float64(cfg.WriteServicePerKB) * float64(of.written) / 1024)
+		if of.size <= cfg.InodeInlineBytes && newSize > cfg.InodeInlineBytes {
+			// Crossing the inline threshold allocates the first block.
+			t += cfg.BlockAllocService
+		}
+		c.fsys.service(sp, t, -1)
+		c.fsys.ns.SetSize(of.ino, newSize, sp.Now())
+		c.fsys.wafl.LogMetadata(sp, cfg.MetaLogBytes+of.written)
+		if a, err := c.fsys.ns.Stat(of.path); err == nil {
+			simnet.Defer(sp, func() { c.st().attrs.Put(of.path, a) })
+		}
+	})
+	of.size = newSize
+	of.written = 0
+	of.dirty = false
+}
+
 // Mkdir issues a synchronous MKDIR RPC.
 func (c *client) Mkdir(p string) error {
+	if c.fsys.domained() {
+		return c.modifyRPCDom("mkdir", p, c.cfg().MkdirService, func(sp *sim.Proc) error {
+			_, err := c.fsys.ns.Mkdir(p, 0o755, sp.Now())
+			if err == nil || fs.IsExist(err) {
+				c.captureFill(sp, p)
+			}
+			return err
+		})
+	}
 	err := c.modifyRPC("mkdir", p, c.cfg().MkdirService, func(sp *sim.Proc) error {
 		_, err := c.fsys.ns.Mkdir(p, 0o755, sp.Now())
 		return err
@@ -434,9 +696,16 @@ func (c *client) Mkdir(p string) error {
 
 // Rmdir issues a synchronous RMDIR RPC.
 func (c *client) Rmdir(p string) error {
-	err := c.modifyRPC("rmdir", p, c.cfg().RemoveService, func(sp *sim.Proc) error {
-		return c.fsys.ns.Rmdir(p, sp.Now())
-	})
+	var err error
+	if c.fsys.domained() {
+		err = c.modifyRPCDom("rmdir", p, c.cfg().RemoveService, func(sp *sim.Proc) error {
+			return c.fsys.ns.Rmdir(p, sp.Now())
+		})
+	} else {
+		err = c.modifyRPC("rmdir", p, c.cfg().RemoveService, func(sp *sim.Proc) error {
+			return c.fsys.ns.Rmdir(p, sp.Now())
+		})
+	}
 	if err == nil {
 		c.st().attrs.Invalidate(p)
 		c.st().dentries.Invalidate(p)
@@ -446,9 +715,16 @@ func (c *client) Rmdir(p string) error {
 
 // Unlink issues a synchronous REMOVE RPC.
 func (c *client) Unlink(p string) error {
-	err := c.modifyRPC("unlink", p, c.cfg().RemoveService, func(sp *sim.Proc) error {
-		return c.fsys.ns.Unlink(p, sp.Now())
-	})
+	var err error
+	if c.fsys.domained() {
+		err = c.modifyRPCDom("unlink", p, c.cfg().RemoveService, func(sp *sim.Proc) error {
+			return c.fsys.ns.Unlink(p, sp.Now())
+		})
+	} else {
+		err = c.modifyRPC("unlink", p, c.cfg().RemoveService, func(sp *sim.Proc) error {
+			return c.fsys.ns.Unlink(p, sp.Now())
+		})
+	}
 	if err == nil {
 		c.st().attrs.Invalidate(p)
 		c.st().dentries.Invalidate(p)
@@ -458,6 +734,25 @@ func (c *client) Unlink(p string) error {
 
 // Rename issues a synchronous RENAME RPC (atomic at the server).
 func (c *client) Rename(oldPath, newPath string) error {
+	if c.fsys.domained() {
+		err := c.modifyRPCDom("rename", oldPath, c.cfg().RenameService, func(sp *sim.Proc) error {
+			err := c.fsys.ns.Rename(oldPath, newPath, sp.Now())
+			if err == nil && !c.captureFill(sp, newPath) {
+				simnet.Defer(sp, func() {
+					st := c.st()
+					st.attrs.Invalidate(newPath)
+					st.dentries.Invalidate(newPath)
+				})
+			}
+			return err
+		})
+		if err == nil {
+			st := c.st()
+			st.attrs.Invalidate(oldPath)
+			st.dentries.Invalidate(oldPath)
+		}
+		return err
+	}
 	err := c.modifyRPC("rename", oldPath, c.cfg().RenameService, func(sp *sim.Proc) error {
 		return c.fsys.ns.Rename(oldPath, newPath, sp.Now())
 	})
@@ -478,6 +773,15 @@ func (c *client) Rename(oldPath, newPath string) error {
 
 // Link issues a synchronous LINK RPC.
 func (c *client) Link(oldPath, newPath string) error {
+	if c.fsys.domained() {
+		return c.modifyRPCDom("link", newPath, c.cfg().CreateService, func(sp *sim.Proc) error {
+			err := c.fsys.ns.Link(oldPath, newPath, sp.Now())
+			if err == nil {
+				c.captureFill(sp, newPath)
+			}
+			return err
+		})
+	}
 	err := c.modifyRPC("link", newPath, c.cfg().CreateService, func(sp *sim.Proc) error {
 		return c.fsys.ns.Link(oldPath, newPath, sp.Now())
 	})
@@ -494,6 +798,15 @@ func (c *client) Link(oldPath, newPath string) error {
 
 // Symlink issues a synchronous SYMLINK RPC.
 func (c *client) Symlink(target, linkPath string) error {
+	if c.fsys.domained() {
+		return c.modifyRPCDom("symlink", linkPath, c.cfg().CreateService, func(sp *sim.Proc) error {
+			_, e := c.fsys.ns.Symlink(target, linkPath, sp.Now())
+			if e == nil {
+				c.captureFill(sp, linkPath)
+			}
+			return e
+		})
+	}
 	err := c.modifyRPC("symlink", linkPath, c.cfg().CreateService, func(sp *sim.Proc) error {
 		_, e := c.fsys.ns.Symlink(target, linkPath, sp.Now())
 		return e
@@ -509,7 +822,11 @@ func (c *client) Symlink(target, linkPath string) error {
 	return nil
 }
 
-// modifyRPC is the common path of the namespace-changing operations.
+// modifyRPC is the common path of the namespace-changing operations on
+// the legacy single-kernel filer. Its apply parameter only ever flows
+// into Conn.Call, so caller literals stay on the stack; domained
+// callers go through modifyRPCDom instead — a separate method for the
+// same closure-escape reason CallDom is separate from Call.
 func (c *client) modifyRPC(op, p string, svc time.Duration, apply func(sp *sim.Proc) error) error {
 	cfg := c.cfg()
 	c.node.SyscallNice(c.p, cfg.ClientNice)
@@ -535,6 +852,54 @@ func (c *client) modifyRPC(op, p string, svc time.Duration, apply func(sp *sim.P
 	return err
 }
 
+// modifyRPCDom is modifyRPC for the domained filer: the service body
+// (and the caller's apply closure inside it) executes in the filer's
+// kernel domain, so apply may read the namespace and register cache
+// fills with simnet.Defer, but must not touch client state directly.
+func (c *client) modifyRPCDom(op, p string, svc time.Duration, apply func(sp *sim.Proc) error) error {
+	cfg := c.cfg()
+	c.node.SyscallNice(c.p, cfg.ClientNice)
+	if err := c.resolveParents(p); err != nil {
+		return err
+	}
+	imutex := c.node.DirLock(fs.ParentDir(p))
+	imutex.Lock(c.p)
+	defer imutex.Unlock()
+	var err error
+	c.cn().CallDom(c.p, 150, 140, func(sp *sim.Proc) {
+		lock := c.fsys.lockParent(p)
+		if lock != nil {
+			lock.Lock(sp)
+			defer lock.Unlock()
+		}
+		c.fsys.service(sp, svc, c.fsys.parentEntries(p))
+		err = apply(sp)
+		if err == nil {
+			c.fsys.wafl.LogMetadata(sp, cfg.MetaLogBytes)
+		}
+	})
+	return err
+}
+
+// captureFill snapshots path's server-side attributes from within a
+// cross-domain service body (after the mutation applied) and registers
+// the client cache fill for reply time. It reports whether the path
+// resolved. Callers use it where the legacy code reads the namespace
+// after the call returns — off limits once the namespace lives in the
+// filer's domain.
+func (c *client) captureFill(sp *sim.Proc, path string) bool {
+	a, err := c.fsys.ns.Stat(path)
+	if err != nil {
+		return false
+	}
+	simnet.Defer(sp, func() {
+		st := c.st()
+		st.dentries.PutPositive(path, a.Ino)
+		st.attrs.Put(path, a)
+	})
+	return true
+}
+
 // Stat serves from the attribute cache when fresh, else issues GETATTR.
 func (c *client) Stat(p string) (fs.Attr, error) {
 	cfg := c.cfg()
@@ -545,6 +910,9 @@ func (c *client) Stat(p string) (fs.Attr, error) {
 	}
 	if err := c.resolveParents(p); err != nil {
 		return fs.Attr{}, err
+	}
+	if c.fsys.domained() {
+		return c.statDom(p, cfg)
 	}
 	var a fs.Attr
 	var err error
@@ -560,13 +928,57 @@ func (c *client) Stat(p string) (fs.Attr, error) {
 	return a, nil
 }
 
+// statDom is the GETATTR miss path against the domained filer. The body
+// only copies the attr out; the client-side cache puts read that copy
+// after the rendezvous, never the namespace.
+func (c *client) statDom(p string, cfg Config) (fs.Attr, error) {
+	st := c.st()
+	var a fs.Attr
+	var err error
+	c.cn().CallDom(c.p, 120, 140, func(sp *sim.Proc) {
+		c.fsys.service(sp, cfg.GetattrService, -1)
+		a, err = c.fsys.ns.Stat(p)
+	})
+	if err != nil {
+		return fs.Attr{}, err
+	}
+	st.attrs.Put(p, a)
+	st.dentries.PutPositive(p, a.Ino)
+	return a, nil
+}
+
 // ReadDir pages through the directory in 512-entry READDIR RPCs.
 func (c *client) ReadDir(p string) ([]fs.DirEntry, error) {
 	cfg := c.cfg()
 	c.node.Syscall(c.p)
+	if c.fsys.domained() {
+		return c.readDirDom(p, cfg)
+	}
 	var ents []fs.DirEntry
 	var err error
 	c.cn().Call(c.p, 130, 260, func(sp *sim.Proc) {
+		ents, err = c.fsys.ns.ReadDir(p, sp.Now())
+		if err != nil {
+			c.fsys.service(sp, cfg.ReaddirService, -1)
+			return
+		}
+		pages := (len(ents) + 511) / 512
+		if pages < 1 {
+			pages = 1
+		}
+		t := time.Duration(pages)*cfg.ReaddirService +
+			time.Duration(len(ents))*cfg.ReaddirPerEntry
+		c.fsys.service(sp, t, -1)
+	})
+	return ents, err
+}
+
+// readDirDom is ReadDir against the domained filer: the entry slice is
+// built server-side and copied out through the rendezvous.
+func (c *client) readDirDom(p string, cfg Config) ([]fs.DirEntry, error) {
+	var ents []fs.DirEntry
+	var err error
+	c.cn().CallDom(c.p, 130, 260, func(sp *sim.Proc) {
 		ents, err = c.fsys.ns.ReadDir(p, sp.Now())
 		if err != nil {
 			c.fsys.service(sp, cfg.ReaddirService, -1)

@@ -47,18 +47,13 @@ import (
 )
 
 // domained reports whether the FS runs on a multi-domain group.
-func (f *FS) domained() bool { return f.g != nil }
+func (f *FS) domained() bool { return f.rt.Domained() }
 
 // Group exposes the FS's domain group (nil when Domains <= 1).
-func (f *FS) Group() *sim.DomainGroup { return f.g }
+func (f *FS) Group() *sim.DomainGroup { return f.rt.Group() }
 
 // kFor returns the kernel server i lives on (f.k when undomained).
-func (f *FS) kFor(i int) *sim.Kernel {
-	if f.doms == nil {
-		return f.k
-	}
-	return f.doms[i]
-}
+func (f *FS) kFor(i int) *sim.Kernel { return f.rt.KernelFor(i) }
 
 // sliceKernel returns the kernel owning slice s's state — the kernel of
 // the server currently serving it. serving[] changes only at sync
@@ -69,13 +64,7 @@ func (f *FS) sliceKernel(s int) *sim.Kernel { return f.kFor(f.serving[s]) }
 // undomained (the single kernel is always globally quiescent between
 // events), else at a sync point one lookahead window ahead, with every
 // domain parked at exactly that time.
-func (f *FS) atSync(p *sim.Proc, fn func()) {
-	if !f.domained() {
-		fn()
-		return
-	}
-	f.g.AtSync(p, p.Now(), fn)
-}
+func (f *FS) atSync(p *sim.Proc, fn func()) { f.rt.AtSync(p, fn) }
 
 // peerLeg runs body on ps's peer pool across the interconnect:
 // coordination CPU on the caller, the round trip, and the body holding

@@ -2,22 +2,13 @@ package shard
 
 // Aggregate-arrival injection (E31–E33): analytically-modeled
 // background load (internal/agg) enters the sharded MDS as batched
-// virtual-time demand instead of per-client processes. Per shard,
-// ShardThreads injector lanes run as daemons on the shard's own kernel
-// domain; each tick every lane draws its slice of the shard's arrival
-// batch, prices it with the same base service times real RPCs pay
-// (scaled by the WAFL consistency-point factor), then occupies one
-// server of the shard's client-facing thread pool for that long. The
-// foreground clients riding on top queue FIFO behind the injected
-// holds, so they observe genuine contention — queueing delay, diurnal
-// swell, flash-crowd saturation — from a load that costs no per-client
-// state.
-//
-// Overload is open-loop: a lane that cannot finish a tick's hold before
-// later ticks begin shedding the ticks it slept through (AggShedOps).
-// The pool therefore saturates at 100% utilization instead of building
-// an unbounded virtual queue, which is the admission-control behavior a
-// real front end would enforce.
+// virtual-time demand instead of per-client processes. The mechanism —
+// daemon injector lanes per server, open-loop shedding, Acquire/Sleep/
+// Release holds on the client-facing pool — lives in the shared service
+// runtime (internal/service); this file wires it to the sharded MDS:
+// ShardThreads lanes per shard on the shard's own kernel domain, priced
+// with the same base service times real RPCs pay, scaled by the WAFL
+// consistency-point factor.
 //
 // Determinism: lanes touch only their own shard's pool and the atomic
 // FS counters, and each (shard, lane) draws from a private source
@@ -25,24 +16,16 @@ package shard
 // Domains/worker count (domain_test.go's aggregate case pins this).
 
 import (
-	"strconv"
 	"time"
 
+	"dmetabench/internal/service"
 	"dmetabench/internal/sim"
 )
 
 // AggregateDemand is one tick's background arrivals for one injector
 // lane, by operation class. The classes map onto the priced service
 // kinds of the cost model (Config.GetattrService etc.).
-type AggregateDemand struct {
-	Getattr int64
-	Lookup  int64
-	Readdir int64
-	Create  int64
-}
-
-// Total sums the classes.
-func (d AggregateDemand) Total() int64 { return d.Getattr + d.Lookup + d.Readdir + d.Create }
+type AggregateDemand = service.Demand
 
 // AttachAggregate starts the background injector: ShardThreads daemon
 // lanes per shard, each calling src(shard, lane, tick) once per tick in
@@ -54,63 +37,18 @@ func (d AggregateDemand) Total() int64 { return d.Getattr + d.Lookup + d.Readdir
 // lane) source state must not be shared across shards (internal/agg's
 // replicated-stream design).
 func (f *FS) AttachAggregate(tick time.Duration, src func(shard, lane, tick int) AggregateDemand) {
-	if tick <= 0 {
-		tick = time.Second
-	}
-	lanes := f.cfg.ShardThreads
-	if lanes < 1 {
-		lanes = 1
-	}
-	for i := range f.shards {
-		sh := f.shards[i]
-		k := f.kFor(i)
-		for l := 0; l < lanes; l++ {
-			lane := l
-			name := "agginject:" + strconv.Itoa(i) + ":" + strconv.Itoa(lane)
-			k.SpawnDaemon(name, func(p *sim.Proc) {
-				f.aggLane(p, sh, lane, tick, src)
-			})
-		}
-	}
-}
-
-// aggLane is one injector lane's loop. All per-iteration state lives in
-// locals and the hold path is Acquire/Sleep/Release on a preallocated
-// resource, so the steady state allocates nothing
-// (BenchmarkAggregateInject's alloc guard pins this).
-func (f *FS) aggLane(p *sim.Proc, sh *shardSrv, lane int, tick time.Duration, src func(shard, lane, tick int) AggregateDemand) {
-	next := 0 // next tick index this lane owes
-	for {
-		i := int(p.Now() / tick)
-		if i < next {
-			// Our tick's work is done; park until the next boundary.
-			p.Sleep(time.Duration(next)*tick - p.Now())
-			i = next
-		}
-		// Ticks the lane slept through entirely are shed: draw them to
-		// keep the source stream index-pure, count them, do not hold.
-		for next < i {
-			d := src(sh.index, lane, next)
-			if n := d.Total(); n > 0 {
-				addI64(&f.AggShedOps, n)
-			}
-			next++
-		}
-		d := src(sh.index, lane, i)
-		next = i + 1
-		n := d.Total()
-		if n == 0 {
-			continue
-		}
-		cost := f.priceAggregate(sh, d)
-		addI64(&f.AggOps, n)
-		addI64(&f.AggBusy, int64(cost))
-		if cost > 0 {
-			sh.srv.Threads.Acquire(p)
-			p.Sleep(cost)
-			sh.srv.Threads.Release()
-		}
-	}
+	service.AttachAggregate(service.AggregateConfig{
+		Servers: len(f.shards),
+		Lanes:   f.cfg.ShardThreads,
+		Tick:    tick,
+		Kernel:  f.kFor,
+		Pool:    func(i int) *sim.Resource { return f.shards[i].srv.Threads },
+		Source:  src,
+		Price:   func(i int, d AggregateDemand) time.Duration { return f.priceAggregate(f.shards[i], d) },
+		Ops:     &f.AggOps,
+		Shed:    &f.AggShedOps,
+		Busy:    &f.AggBusy,
+	})
 }
 
 // AggCounts returns the injected / shed operation counts and the
@@ -130,14 +68,22 @@ func (f *FS) AggCounts() (ops, shed int64, busy time.Duration) {
 // the analytic stream has no concrete directories — which prices the
 // background conservatively.
 func (f *FS) priceAggregate(sh *shardSrv, d AggregateDemand) time.Duration {
-	base := time.Duration(d.Getattr)*f.cfg.GetattrService +
-		time.Duration(d.Lookup)*f.cfg.LookupService +
-		time.Duration(d.Readdir)*f.cfg.ReaddirService +
-		time.Duration(d.Create)*f.cfg.CreateService
+	base := f.priceTable().Price(d)
 	if base <= 0 {
 		return 0
 	}
 	return time.Duration(float64(base) * sh.wafl.ServiceFactor())
+}
+
+// priceTable exposes the config's base per-class service times in the
+// shared runtime's form.
+func (f *FS) priceTable() service.PriceTable {
+	return service.PriceTable{
+		Getattr: f.cfg.GetattrService,
+		Lookup:  f.cfg.LookupService,
+		Readdir: f.cfg.ReaddirService,
+		Create:  f.cfg.CreateService,
+	}
 }
 
 // CapacityStats is a point-in-time census of the state that grows with

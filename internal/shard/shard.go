@@ -76,6 +76,7 @@ import (
 	"dmetabench/internal/cluster"
 	"dmetabench/internal/fs"
 	"dmetabench/internal/namespace"
+	"dmetabench/internal/service"
 	"dmetabench/internal/sim"
 	"dmetabench/internal/simnet"
 	"dmetabench/internal/storage"
@@ -362,12 +363,12 @@ type FS struct {
 	k   *sim.Kernel
 	cfg Config
 
-	// g and doms carry the kernel-domain decomposition (domain.go):
-	// g is nil with Domains <= 1, doms[i] is the kernel server i's
-	// state lives on. evMu guards the Compactions slice, the one
-	// result collection bodies append to from several domains.
-	g    *sim.DomainGroup
-	doms []*sim.Kernel
+	// rt carries the kernel-domain decomposition (the shared service
+	// runtime, internal/service): Group() is nil with Domains <= 1,
+	// KernelFor(i) is the kernel server i's state lives on. evMu
+	// guards the Compactions slice, the one result collection bodies
+	// append to from several domains.
+	rt   *service.Runtime
 	evMu sync.Mutex
 
 	shards []*shardSrv
@@ -486,23 +487,11 @@ func New(k *sim.Kernel, name string, cfg Config) *FS {
 		splitDirs: make(map[string]*dirSplit),
 		moved:     make(map[entryID]entryID),
 	}
-	if cfg.Domains > 1 && k.Group() == nil {
-		nd := cfg.Domains
-		if nd > cfg.NumShards+1 {
-			nd = cfg.NumShards + 1
-		}
-		if nd > 1 {
-			la := cfg.CrossShardLatency
-			if cfg.OneWayLatency < la {
-				la = cfg.OneWayLatency
-			}
-			f.g = sim.AddDomains(k, nd-1, la)
-			f.doms = make([]*sim.Kernel, cfg.NumShards)
-			for i := range f.doms {
-				f.doms[i] = f.g.Kernel(1 + i%(nd-1))
-			}
-		}
+	la := cfg.CrossShardLatency
+	if cfg.OneWayLatency < la {
+		la = cfg.OneWayLatency
 	}
+	f.rt = service.New(k, cfg.NumShards, cfg.Domains, la)
 	for i := 0; i < cfg.NumShards; i++ {
 		id := name + "-" + strconv.Itoa(i)
 		sk := f.kFor(i)
@@ -636,7 +625,7 @@ func (f *FS) Crash(p *sim.Proc, i int) {
 // TakeoverDetect later, and the promotion lands after the replay time —
 // with the journal length read while its shard's domain is parked.
 func (f *FS) crashDomained(p *sim.Proc, i int) {
-	g := f.g
+	g := f.rt.Group()
 	g.AtSync(p, p.Now(), func() {
 		sh := f.shards[i]
 		if !sh.up {
@@ -681,7 +670,7 @@ func (f *FS) Restart(p *sim.Proc, i int) {
 	if f.domained() {
 		// Same sync-point discipline as crashDomained: the journal is
 		// read and the failback committed with every domain parked.
-		g := f.g
+		g := f.rt.Group()
 		g.AtSync(p, p.Now(), func() {
 			sh := f.shards[i]
 			if sh.up {

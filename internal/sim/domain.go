@@ -22,6 +22,14 @@
 // whether the group runs on one worker or one per domain. The
 // determinism matrix test in internal/core pins exactly that.
 //
+// Windows are adaptive by default (DomainGroup.Adaptive): when a single
+// domain holds the global minimum event time, its window extends to the
+// second-minimum next-event time plus the lookahead — the earliest
+// instant anything can reach it — instead of the worst-case fixed edge,
+// with dynamic horizon clamps guarding against arrivals the extended
+// window itself provokes (sends, sync registrations). The schedule is
+// byte-identical to fixed windows; only the window count drops.
+//
 // Rare global transitions that cannot be expressed as priced messages
 // (server crashes, failover takeovers, split re-partitioning) register
 // sync points: virtual times at which every domain rendezvous exactly.
@@ -59,14 +67,28 @@ type Domain struct {
 	sendSeq int64
 }
 
-// message is one cross-domain event in flight.
+// message is one cross-domain event in flight. Exactly one of fn and
+// wake is set: fn runs as a fresh (pooled) process at the arrival time,
+// wake resumes an existing blocked process (the reply leg of Call, which
+// needs no body of its own — carrying the target directly saves the
+// closure and the trampoline dispatch).
 type message struct {
 	at   Time
 	src  int   // sender domain id
 	seq  int64 // sender-local sequence
 	name string
 	fn   func(p *Proc)
+	wake *Proc
 }
+
+// msgSeqBase offsets delivered-message sequence numbers far above any
+// kernel-local sequence. A delivered message's heap position is derived
+// from its *intrinsic* identity — (sender sequence, sender domain) — not
+// from the destination's sequence counter at delivery time, so the order
+// of same-timestamp events never depends on which window edge happened
+// to deliver the message. That invariance is what lets adaptive windows
+// (variable edges) produce byte-identical schedules to fixed windows.
+const msgSeqBase = int64(1) << 62
 
 // syncPoint is a registered global rendezvous.
 type syncPoint struct {
@@ -86,6 +108,16 @@ type DomainGroup struct {
 	// value >= 1; tests pin 1 vs N to prove it.
 	Workers int
 
+	// Adaptive widens one domain's window past the classic fixed edge
+	// when it is the unique holder of the minimum pending event time:
+	// that domain may run to (second-minimum next-event time + lookahead)
+	// instead of (minimum + lookahead), because no other domain can
+	// produce an arrival before that. Two dynamic clamps keep the
+	// extension safe against work the window itself creates — see run().
+	// Defaults on; results are byte-identical either way (tests pin it),
+	// adaptive just reaches the same schedule in fewer, fuller windows.
+	Adaptive bool
+
 	// CheckCausality enables the invariant checker: every cross-domain
 	// send must carry at least the lookahead, and no domain may be past
 	// an in-flight message's arrival time when it is delivered. The
@@ -97,7 +129,8 @@ type DomainGroup struct {
 	syncs   []syncPoint
 	syncSeq int64
 
-	windows int64 // completed windows, for stats/tests
+	windows int64  // completed windows, for stats/tests
+	ends    []Time // per-domain window ends, reused across windows
 }
 
 // Lookahead returns the group's lookahead window width.
@@ -130,7 +163,7 @@ func AddDomains(k *Kernel, n int, lookahead Time) *DomainGroup {
 	if n < 1 {
 		panic("sim: AddDomains needs at least one extra domain")
 	}
-	g := &DomainGroup{lookahead: lookahead, CheckCausality: true}
+	g := &DomainGroup{lookahead: lookahead, CheckCausality: true, Adaptive: true}
 	attach := func(kn *Kernel) {
 		d := &Domain{id: len(g.domains), k: kn, g: g}
 		kn.dom = d
@@ -188,12 +221,26 @@ func Post(p *Proc, dst *Kernel, delay Time, name string, fn func(q *Proc)) {
 		panic(fmt.Sprintf("sim: causality violation: %s posts %s with delay %v < lookahead %v",
 			src.dom.label(), name, delay, g.lookahead))
 	}
-	d := dst.dom
 	m := message{at: src.now + delay, src: src.dom.id, seq: src.dom.sendSeq, name: name, fn: fn}
 	src.dom.sendSeq++
-	d.mu.Lock()
-	d.inbox = append(d.inbox, m)
-	d.mu.Unlock()
+	src.dom.send(dst.dom, m)
+}
+
+// send appends m to dst's mailbox and applies the sender-side reflection
+// clamp: a message sent at t_s can provoke a reply (processed by the
+// recipient in a later window) that arrives no earlier than t_s + 2L, so
+// the sender must not execute past t_s + 2L - 1 within its current
+// window. For classic fixed windows the bound is a no-op (the window end
+// m + L never exceeds t_s + 2L - 1); it only bites when Adaptive has
+// extended this domain's window, and is exactly what makes the extension
+// safe against arrivals the extension itself provokes.
+func (src *Domain) send(dst *Domain, m message) {
+	dst.mu.Lock()
+	dst.inbox = append(dst.inbox, m)
+	dst.mu.Unlock()
+	if h := src.k.now + 2*src.g.lookahead - 1; h >= src.k.now && h < src.k.horizon {
+		src.k.horizon = h
+	}
 }
 
 // Call is the cross-domain RPC rendezvous: it blocks p, runs fn in dst's
@@ -213,11 +260,15 @@ func Call(p *Proc, dst *Kernel, delay Time, name string, fn func(q *Proc)) {
 	Post(p, dst, delay, name, func(q *Proc) {
 		q.Ctx = p.Ctx
 		fn(q)
-		Post(q, src, delay, name+":reply", func(r *Proc) {
-			src.wake(p)
-		})
+		// Reply leg: a wake message resuming p directly at arrival time.
+		// Carrying the target proc instead of a closure saves the closure
+		// allocation and the trampoline dispatch on every cross-domain RPC.
+		k := q.k
+		m := message{at: k.now + delay, src: k.dom.id, seq: k.dom.sendSeq, name: "xcall-reply", wake: p}
+		k.dom.sendSeq++
+		k.dom.send(src.dom, m)
 	})
-	p.block("xcall:" + name)
+	p.block(name)
 }
 
 func (d *Domain) label() string { return fmt.Sprintf("domain %d", d.id) }
@@ -230,6 +281,16 @@ func (d *Domain) label() string { return fmt.Sprintf("domain %d", d.id) }
 func (g *DomainGroup) AtSync(p *Proc, at Time, fn func()) {
 	if min := p.Now() + g.lookahead; at < min {
 		at = min
+	}
+	// The registering domain must not execute past the rendezvous within
+	// its current window: under Adaptive its window may extend beyond
+	// at - 1, and fireSyncs would then find its clock past the sync
+	// point. Every *other* domain is provably short of at already (its
+	// window ends at m + L <= now + L <= at for classic windows, and an
+	// extended window ends at M2 + L <= now + L <= at because the
+	// registering domain's events bound M2). A no-op for fixed windows.
+	if at-1 < p.k.horizon {
+		p.k.horizon = at - 1
 	}
 	g.addSync(p.k.DomainID(), at, fn)
 }
@@ -250,32 +311,33 @@ func (g *DomainGroup) addSync(src int, at Time, fn func()) {
 
 // deliver drains every mailbox into its kernel's event queue in
 // deterministic order. Called on the coordinating goroutine with all
-// domains parked.
+// domains parked. Each message is enqueued under its intrinsic sequence
+// number — msgSeqBase + senderSeq*numDomains + senderDomain — so the
+// destination's own sequence counter never advances on delivery and the
+// heap order of same-timestamp events is independent of which window
+// edge delivered which message (see msgSeqBase).
 func (g *DomainGroup) deliver() {
+	nd := int64(len(g.domains))
 	for _, d := range g.domains {
 		d.mu.Lock()
 		msgs := d.inbox
-		d.inbox = nil
+		d.inbox = d.inbox[:0]
 		d.mu.Unlock()
 		if len(msgs) == 0 {
 			continue
 		}
-		sort.Slice(msgs, func(i, j int) bool {
-			a, b := msgs[i], msgs[j]
-			if a.at != b.at {
-				return a.at < b.at
-			}
-			if a.src != b.src {
-				return a.src < b.src
-			}
-			return a.seq < b.seq
-		})
 		for _, m := range msgs {
 			if g.CheckCausality && m.at < d.k.now {
 				panic(fmt.Sprintf("sim: causality violation: %s at %v receives message %q stamped %v from domain %d",
 					d.label(), d.k.now, m.name, m.at, m.src))
 			}
-			d.k.spawnMsgAt(m.name, m.at, m.fn)
+			seq := msgSeqBase + m.seq*nd + int64(m.src)
+			if m.wake != nil {
+				d.k.blocked--
+				d.k.scheduleSeq(m.wake, m.at, seq)
+				continue
+			}
+			d.k.spawnMsgAt(m.name, m.at, seq, m.fn)
 		}
 	}
 }
@@ -312,6 +374,10 @@ func (g *DomainGroup) peekSync() (Time, bool) {
 // parked at exactly that virtual time.
 func (g *DomainGroup) fireSyncs(at Time) {
 	for _, d := range g.domains {
+		if g.CheckCausality && d.k.now > at {
+			panic(fmt.Sprintf("sim: causality violation: %s reached %v before sync point at %v",
+				d.label(), d.k.now, at))
+		}
 		if d.k.now < at {
 			d.k.now = at
 		}
@@ -370,6 +436,21 @@ func (g *DomainGroup) RunFor(t Time) error { return g.run(t) }
 // edge (min event + lookahead, capped by the next sync point and the
 // horizon), execute the window on the worker pool, fire due sync
 // points, repeat.
+//
+// With Adaptive on, one domain per window may receive a wider end than
+// the classic m + lookahead: if exactly one domain holds the global
+// minimum pending event time m, every other domain's earliest possible
+// send happens at M2 (the second-minimum next-event time) or later, so
+// nothing can arrive at the minimum domain before M2 + lookahead — it
+// may run until then. Two dynamic clamps close the loopholes the static
+// argument leaves open: (a) the extended domain's own sends can provoke
+// replies arriving as early as send-time + 2L, so every cross-domain
+// send clamps the sender's horizon to t_s + 2L - 1 (Domain.send); (b) a
+// sync point it registers clamps its horizon to the rendezvous - 1
+// (AtSync). Both clamps are no-ops for classic fixed windows, and the
+// schedule produced is byte-identical either way because delivered
+// messages carry window-structure-independent sequence numbers
+// (msgSeqBase) — adaptive merely reaches it in fewer, fuller windows.
 func (g *DomainGroup) run(horizon Time) error {
 	for {
 		g.deliver()
@@ -406,7 +487,54 @@ func (g *DomainGroup) run(horizon Time) error {
 		if horizon < forever && end > horizon+1 {
 			end = horizon + 1
 		}
-		g.runWindow(end)
+		if cap(g.ends) < len(g.domains) {
+			g.ends = make([]Time, len(g.domains))
+		}
+		ends := g.ends[:len(g.domains)]
+		for i := range ends {
+			ends[i] = end
+		}
+		if g.Adaptive && haveEvents {
+			argmin, mins := -1, 0
+			m2, haveM2 := Time(0), false
+			for i, d := range g.domains {
+				if d.k.queue.len() == 0 {
+					continue
+				}
+				at := d.k.queue.e[0].at
+				if at == m {
+					argmin = i
+					mins++
+					continue
+				}
+				if !haveM2 || at < m2 {
+					m2, haveM2 = at, true
+				}
+			}
+			// Extend only when a second-minimum exists: it is the finite
+			// bound on when anything can next reach the minimum domain.
+			// Without one (every other domain idle) the extension would
+			// be unbounded, and an infinite daemon loop — a consistency-
+			// point writer, a journal committer — would spin inside the
+			// window forever, never returning to the group loop where
+			// termination is decided.
+			if mins == 1 && haveM2 {
+				ext := m2 + g.lookahead
+				if ext < m2 { // overflow
+					ext = forever
+				}
+				if haveSync && s < ext {
+					ext = s
+				}
+				if horizon < forever && ext > horizon+1 {
+					ext = horizon + 1
+				}
+				if ext > ends[argmin] {
+					ends[argmin] = ext
+				}
+			}
+		}
+		g.runWindows(ends)
 		g.windows++
 		if haveSync && end == s {
 			g.fireSyncs(s)
@@ -414,17 +542,17 @@ func (g *DomainGroup) run(horizon Time) error {
 	}
 }
 
-// runWindow executes events strictly before end in every domain,
+// runWindows executes events strictly before ends[i] in domain i,
 // distributing domains across the worker pool. Correctness never
 // depends on the distribution: domains do not interact inside a window.
-func (g *DomainGroup) runWindow(end Time) {
+func (g *DomainGroup) runWindows(ends []Time) {
 	workers := g.Workers
 	if workers < 1 {
 		workers = 1
 	}
 	if workers == 1 {
-		for _, d := range g.domains {
-			d.k.runWindow(end)
+		for i, d := range g.domains {
+			d.k.runWindow(ends[i])
 		}
 		return
 	}
@@ -434,7 +562,7 @@ func (g *DomainGroup) runWindow(end Time) {
 		go func(w int) {
 			defer wg.Done()
 			for i := w; i < len(g.domains); i += workers {
-				g.domains[i].k.runWindow(end)
+				g.domains[i].k.runWindow(ends[i])
 			}
 		}(w)
 	}

@@ -174,6 +174,30 @@ func (k *Kernel) schedule(p *Proc, at Time) {
 	k.queue.push(event{at: at, seq: k.nextSeq(), p: p})
 }
 
+// scheduleSeq enqueues a wake-up under a caller-provided sequence number
+// without advancing the kernel counter. Cross-domain delivery uses it so
+// a message's heap position is intrinsic to the send (sender sequence and
+// domain), never to delivery timing — the local sequence stream stays
+// identical whatever the window structure (see domain.go, msgSeqBase).
+func (k *Kernel) scheduleSeq(p *Proc, at Time, seq int64) {
+	if at < k.now {
+		at = k.now
+	}
+	k.queue.push(event{at: at, seq: seq, p: p})
+}
+
+// runsBefore reports whether some queued event runs strictly before a
+// wake-up scheduled now at time at would: it is earlier, or ties with a
+// local (pre-msgSeqBase) sequence number, which is necessarily older
+// than the sequence a fresh wake-up would draw.
+func (k *Kernel) runsBefore(at Time) bool {
+	if k.queue.len() == 0 {
+		return false
+	}
+	h := &k.queue.e[0]
+	return h.at < at || (h.at == at && h.seq < msgSeqBase)
+}
+
 // dispatchNext pops the earliest runnable event and hands control to its
 // process. It reports false when nothing may run: the queue is empty,
 // only daemons remain live, or the next event lies beyond the run
@@ -190,6 +214,9 @@ func (k *Kernel) dispatchNext() bool {
 		return false
 	}
 	ev := k.queue.pop()
+	if ev.p.done {
+		panic(fmt.Sprintf("sim: stale event at %v (seq %d) for finished proc %q", ev.at, ev.seq, ev.p.name))
+	}
 	if ev.at > k.now {
 		k.now = ev.at
 	}
@@ -305,13 +332,14 @@ func (k *Kernel) spawnProc(name string, fn func(p *Proc), daemon bool) *Proc {
 	return p
 }
 
-// spawnMsgAt schedules fn like spawnAt but on a pooled trampoline proc:
-// cross-domain delivery creates one short-lived proc per message, and
-// recycling the goroutine, Proc and resume channel keeps that off the
-// allocator and the GC scan set. Pooled procs are invisible outside the
-// kernel — deliver() never hands the *Proc to callers, so the reuse can
-// never confuse a Join (which is the reason plain Spawn does not pool).
-func (k *Kernel) spawnMsgAt(name string, at Time, fn func(p *Proc)) {
+// spawnMsgAt schedules fn like spawnAt but on a pooled trampoline proc,
+// under the caller-provided event sequence number: cross-domain delivery
+// creates one short-lived proc per message, and recycling the goroutine,
+// Proc and resume channel keeps that off the allocator and the GC scan
+// set. Pooled procs are invisible outside the kernel — deliver() never
+// hands the *Proc to callers, so the reuse can never confuse a Join
+// (which is the reason plain Spawn does not pool).
+func (k *Kernel) spawnMsgAt(name string, at Time, seq int64, fn func(p *Proc)) {
 	if n := len(k.free); n > 0 {
 		p := k.free[n-1]
 		k.free[n-1] = nil
@@ -324,7 +352,7 @@ func (k *Kernel) spawnMsgAt(name string, at Time, fn func(p *Proc)) {
 		p.slot = len(k.procs)
 		k.procs = append(k.procs, p)
 		k.live++
-		k.schedule(p, at)
+		k.scheduleSeq(p, at, seq)
 		return
 	}
 	k.procSeq++
@@ -355,7 +383,7 @@ func (k *Kernel) spawnMsgAt(name string, at Time, fn func(p *Proc)) {
 			}
 		}
 	}()
-	k.schedule(p, at)
+	k.scheduleSeq(p, at, seq)
 }
 
 // removeProc swap-removes a finished proc from the diagnostics slice.
@@ -423,9 +451,13 @@ func (p *Proc) Sleep(d Time) {
 	// Fast path: if no pending event precedes this wake-up, the scheduler
 	// would hand control straight back to this process — advance the
 	// clock in place and skip the heap and channel round trip entirely.
-	// Ties go to the queued event (its sequence number is older), exactly
-	// as the slow path would order them.
-	if at <= k.horizon && (k.queue.len() == 0 || k.queue.e[0].at > at) {
+	// Ties go to a queued local event (its sequence number is older), but
+	// a delivered cross-domain message carries an intrinsic sequence at or
+	// above msgSeqBase and loses the tie to a local wake-up — exactly as
+	// the slow path would order them. The message tie MUST take the fast
+	// path: the slow path would pop this proc's own wake-up (its fresh
+	// local sequence sorts below msgSeqBase) and self-deadlock on resume.
+	if at <= k.horizon && !k.runsBefore(at) {
 		k.now = at
 		return
 	}

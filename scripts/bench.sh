@@ -32,7 +32,7 @@ cd "$(dirname "$0")/.."
 outdir="."
 count=1
 suite=1
-substrate='BenchmarkSimulatedCreate$|BenchmarkShardedCreate$|BenchmarkDomainCreate$|BenchmarkCachedGetattr$|BenchmarkSplitCreate$|BenchmarkBackendCreate$|BenchmarkAggregateInject$|BenchmarkNamespaceCreate$|BenchmarkRunnerMeasurement$'
+substrate='BenchmarkSimulatedCreate$|BenchmarkShardedCreate$|BenchmarkDomainCreate$|BenchmarkNFSDomainCreate$|BenchmarkCachedGetattr$|BenchmarkSplitCreate$|BenchmarkBackendCreate$|BenchmarkAggregateInject$|BenchmarkNamespaceCreate$|BenchmarkRunnerMeasurement$'
 failover='BenchmarkE19Failover$|BenchmarkE20ReplicationOverhead$|BenchmarkE21RecoveryScaling$'
 coherence='BenchmarkE22LeaseTTL$|BenchmarkE23CacheModes$|BenchmarkE24FailoverCachedLoad$'
 split='BenchmarkE25SplitScaling$|BenchmarkE26SplitStorm$|BenchmarkE27SplitRouting$'
@@ -41,7 +41,10 @@ backend='BenchmarkE28BackendProfile$|BenchmarkE29CompactionTimeline$|BenchmarkE3
 # reduced -period inside their benchmarks; their row metrics carry
 # spaces and slashes, which the unit-label column scan below tolerates.
 scale='BenchmarkE31AggregateDay$|BenchmarkE32ForegroundTail$|BenchmarkE33CapacityPressure$'
-pattern="$substrate|$failover|$coherence|$split|$backend|$scale"
+# The service-runtime experiments (E34-E36); E35 runs at a reduced
+# -period inside its benchmark like the E31-E33 group.
+runtime='BenchmarkE34DomainedServers$|BenchmarkE35FilerAtScale$|BenchmarkE36AdaptiveLookahead$'
+pattern="$substrate|$failover|$coherence|$split|$backend|$scale|$runtime"
 while [ $# -gt 0 ]; do
 	case "$1" in
 	-count)
@@ -88,12 +91,25 @@ fi
 goversion=$(go version | sed 's/^go version //')
 commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 
+# Host fingerprint: CPU model and core count. ns/op comparisons between
+# snapshots taken on different hardware are advisory at best, so the
+# bench gate warns loudly when the fingerprints of baseline and
+# candidate differ.
+cpu_model=$(awk -F': *' '/^model name/ { print $2; exit }' /proc/cpuinfo 2>/dev/null || true)
+if [ -z "$cpu_model" ]; then
+	cpu_model=$(sysctl -n machdep.cpu.brand_string 2>/dev/null || echo unknown)
+fi
+cpu_cores=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)
+
 printf '%s\n' "$raw" | awk -v host="$(uname -sm)" -v gover="$goversion" \
 	-v commit="$commit" -v count="$count" \
+	-v cpum="$cpu_model" -v cpuc="$cpu_cores" \
 	-v ss="$suite_serial" -v sp="$suite_parallel" -v sw="$suite_workers" '
 BEGIN {
 	print "{"
 	printf "  \"host\": \"%s\",\n", host
+	printf "  \"cpu_model\": \"%s\",\n", cpum
+	printf "  \"cpu_cores\": %s,\n", cpuc
 	printf "  \"go\": \"%s\",\n", gover
 	printf "  \"commit\": \"%s\",\n", commit
 	printf "  \"count\": %d,\n", count

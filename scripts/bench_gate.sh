@@ -3,16 +3,21 @@
 #
 # Runs the substrate benchmarks into a fresh snapshot (bench-out/ by
 # default), compares BenchmarkSimulatedCreate, BenchmarkCachedGetattr,
-# BenchmarkSplitCreate, BenchmarkBackendCreate, BenchmarkDomainCreate
-# and BenchmarkAggregateInject ns/op against the newest committed
-# BENCH_*.json in the repo root, and for each gated benchmark
+# BenchmarkSplitCreate, BenchmarkBackendCreate, BenchmarkDomainCreate,
+# BenchmarkNFSDomainCreate and BenchmarkAggregateInject ns/op against
+# the newest committed BENCH_*.json in the repo root, and for each
+# gated benchmark
 #
 #   - fails (exit 1) on a regression worse than 2x,
 #   - warns on any regression above 15%,
 #   - passes otherwise.
 #
-# BenchmarkAggregateInject additionally carries an absolute guard: its
-# steady state must report 0 allocs/op.
+# Absolute allocation guards ride along: BenchmarkAggregateInject's
+# steady state must report 0 allocs/op, and the hot create paths carry
+# allocs/op ceilings (alloc creep fails the build before it becomes a
+# ns/op regression). When the host fingerprint (CPU model/cores,
+# recorded by bench.sh) differs between baseline and candidate, the
+# gate prints a loud warning — cross-hardware ratios are advisory.
 #
 # A gated benchmark missing from the committed baseline is skipped with
 # a notice (the first snapshot that includes it becomes its baseline).
@@ -59,8 +64,32 @@ extract() {
 	}' "$1"
 }
 
+# Host-fingerprint check: a ratio between snapshots from different
+# hardware is advisory at best, so mismatches are flagged loudly (the
+# ns/op gates still run — a >2x regression is meaningful even across
+# machines, but read warnings in that light).
+fingerprint() {
+	awk '
+	/"cpu_model":/ { split($0, q, "\""); m = q[4] }
+	/"cpu_cores":/ { if (match($0, /[0-9]+/)) c = substr($0, RSTART, RLENGTH) }
+	END {
+		if (m == "" && c == "") print "unrecorded"
+		else printf "%s, %s cores\n", m, c
+	}' "$1"
+}
+base_fp=$(fingerprint "$baseline")
+new_fp=$(fingerprint "$fresh")
+if [ "$base_fp" != "$new_fp" ]; then
+	echo "bench_gate: =================================================================="
+	echo "bench_gate: WARNING — host fingerprint differs from the committed baseline:"
+	echo "bench_gate:   baseline ($baseline): $base_fp"
+	echo "bench_gate:   candidate: $new_fp"
+	echo "bench_gate: ns/op ratios across different hardware are advisory only."
+	echo "bench_gate: =================================================================="
+fi
+
 status=0
-for bench in BenchmarkSimulatedCreate BenchmarkCachedGetattr BenchmarkSplitCreate BenchmarkBackendCreate BenchmarkDomainCreate BenchmarkAggregateInject; do
+for bench in BenchmarkSimulatedCreate BenchmarkCachedGetattr BenchmarkSplitCreate BenchmarkBackendCreate BenchmarkDomainCreate BenchmarkNFSDomainCreate BenchmarkAggregateInject; do
 	base_ns=$(extract "$baseline" "$bench" ns_per_op)
 	new_ns=$(extract "$fresh" "$bench" ns_per_op)
 	if [ -z "$new_ns" ]; then
@@ -101,4 +130,24 @@ elif awk -v a="$inject_allocs" 'BEGIN { exit !(a > 0) }'; then
 else
 	echo "bench_gate: BenchmarkAggregateInject allocs/op 0 — ok"
 fi
+
+# Allocation-creep guards: absolute allocs/op ceilings on the hot
+# simulated-create paths, sized with headroom above the measured
+# steady state (ShardedCreate 7, DomainCreate 17, NFSDomainCreate 13).
+# Closure escapes on these paths creep in silently with refactors;
+# the ceiling turns the creep into a red build instead of a slow one.
+for guard in "BenchmarkShardedCreate 8" "BenchmarkDomainCreate 25" "BenchmarkNFSDomainCreate 20"; do
+	bench=${guard% *}
+	limit=${guard#* }
+	a=$(extract "$fresh" "$bench" allocs_per_op)
+	if [ -z "$a" ]; then
+		echo "bench_gate: $bench allocs/op missing from $fresh" >&2
+		status=1
+	elif awk -v a="$a" -v lim="$limit" 'BEGIN { exit !(a > lim) }'; then
+		echo "bench_gate: FAIL — $bench allocates $a allocs/op (ceiling $limit)" >&2
+		status=1
+	else
+		echo "bench_gate: $bench allocs/op $a <= $limit — ok"
+	fi
+done
 exit $status
